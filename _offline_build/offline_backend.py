@@ -1,0 +1,41 @@
+"""Offline PEP 517 backend shim.
+
+The reproduction environment has no network, so pip cannot populate an
+isolated build environment with setuptools/wheel.  This shim makes the
+host interpreter's site-packages visible inside pip's isolated build
+subprocess (``site.addsitedir`` also executes ``.pth`` files, which
+activates setuptools' local-distutils hook) and then delegates every
+PEP 517 / PEP 660 hook to ``setuptools.build_meta``.
+
+On a normal, online machine this is a harmless no-op re-add of
+site-packages.
+"""
+
+import site
+import sysconfig
+
+site.addsitedir(sysconfig.get_paths()["purelib"])
+
+from setuptools import build_meta as _backend  # noqa: E402
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    # setuptools reports ["wheel"] here; it is already importable on the
+    # host, and reporting it would make pip hit the (absent) network.
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def __getattr__(name):
+    return getattr(_backend, name)
+
+
+def __dir__():
+    return dir(_backend)

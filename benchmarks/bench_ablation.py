@@ -1,0 +1,97 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Algorithm 1's load cap W_lim** — the bi-objective trade-off knob:
+   sweeping the cap from tight (1.0×avg) to infinite (= the DM-optimal
+   split) should trace the volume/balance frontier: looser caps can
+   only lower volume, tighter caps can only lower the max load.
+2. **Medium-grain split rule** — the shorter-line heuristic vs forcing
+   all nonzeros rowwise / columnwise; the heuristic should not lose to
+   either degenerate split in volume.
+"""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.core import (
+    partition_s2d_medium_grain,
+    s2d_heuristic,
+    s2d_optimal,
+    single_phase_comm_stats,
+)
+from repro.generators import circuit_like
+from repro.hypergraph import PartitionConfig
+from repro.metrics import format_li, format_table
+from repro.partition import partition_1d_rowwise
+
+CFG = PartitionConfig(seed=5)
+
+
+def _wlim_sweep():
+    a = circuit_like(700, avg_degree=5, ndense=3, dense_fraction=0.4, seed=21)
+    k = 32
+    p1 = partition_1d_rowwise(a, k, CFG)
+    avg = a.nnz / k
+    rows = []
+    records = []
+    for label, wlim in [
+        ("1.00x", 1.00 * avg),
+        ("1.03x", 1.03 * avg),
+        ("1.10x", 1.10 * avg),
+        ("1.50x", 1.50 * avg),
+        ("2.00x", 2.00 * avg),
+    ]:
+        s = s2d_heuristic(a, x_part=p1.vectors, nparts=k, w_lim=wlim)
+        vol = single_phase_comm_stats(s).total_volume
+        rows.append([label, format_li(s.load_imbalance()), vol])
+        records.append((wlim, s.load_imbalance(), vol))
+    opt = s2d_optimal(a, x_part=p1.vectors, nparts=k)
+    vol_opt = single_phase_comm_stats(opt).total_volume
+    rows.append(["optimal", format_li(opt.load_imbalance()), vol_opt])
+    v1 = single_phase_comm_stats(p1).total_volume
+    rows.append(["1D", format_li(p1.load_imbalance()), v1])
+    text = format_table(
+        ["W_lim", "LI", "volume"],
+        rows,
+        title="Ablation: Algorithm 1 load cap (circuit analog, K=32)",
+    )
+    return text, records, vol_opt, v1
+
+
+def test_ablation_wlim(benchmark, results_dir):
+    text, records, vol_opt, v1 = run_once(benchmark, _wlim_sweep)
+    emit(results_dir, "ablation_wlim", text)
+    vols = [v for _, _, v in records]
+    # every capped heuristic is sandwiched between optimal and 1D
+    for v in vols:
+        assert vol_opt <= v <= v1
+    # loosening the cap never increases volume
+    assert all(b <= a for a, b in zip(vols, vols[1:]))
+
+
+def _split_rule_sweep():
+    a = circuit_like(500, avg_degree=5, ndense=2, dense_fraction=0.4, seed=22)
+    k = 16
+    rows = []
+    vols = {}
+    for label, mask in [
+        ("shorter-line", None),
+        ("all-row", np.ones(a.nnz, dtype=bool)),
+        ("all-col", np.zeros(a.nnz, dtype=bool)),
+    ]:
+        p = partition_s2d_medium_grain(a, k, CFG, to_row=mask)
+        vol = single_phase_comm_stats(p).total_volume
+        vols[label] = vol
+        rows.append([label, format_li(p.load_imbalance()), vol])
+    text = format_table(
+        ["split rule", "LI", "volume"],
+        rows,
+        title="Ablation: medium-grain split rule (circuit analog, K=16)",
+    )
+    return text, vols
+
+
+def test_ablation_split_rule(benchmark, results_dir):
+    text, vols = run_once(benchmark, _split_rule_sweep)
+    emit(results_dir, "ablation_split", text)
+    # the shorter-line rule should not lose to both degenerate rules
+    assert vols["shorter-line"] <= max(vols["all-row"], vols["all-col"])

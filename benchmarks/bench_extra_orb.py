@@ -1,0 +1,81 @@
+"""Extension experiment (beyond the paper's tables): Mondriaan ORB.
+
+The paper's related work cites orthogonal recursive bisection
+(Vastenhouw & Bisseling) among the 2D alternatives but does not table
+it.  This bench places `2D-orb` next to 2D fine-grain and s2D on the
+general suite at the largest K — rounding out the baseline family.
+
+Expected shape: ORB volume sits between fine-grain (finest granularity)
+and 1D; like fine-grain, it pays two communication phases.
+"""
+
+from conftest import emit, run_once
+
+from repro.core import s2d_heuristic
+from repro.experiments import ExperimentConfig
+from repro.generators.suite import table1_suite
+from repro.metrics import format_table, geomean
+from repro.partition import (
+    partition_1d_rowwise,
+    partition_2d_finegrain,
+    partition_mondriaan,
+)
+from repro.simulate import evaluate
+
+
+def _run(cfg: ExperimentConfig):
+    k = cfg.general_ks[-1]
+    rows, records = [], []
+    for idx, sm in enumerate(table1_suite(cfg.scale)):
+        a = sm.matrix()
+        p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
+        q1 = evaluate(p1, machine=cfg.machine)
+        qf = evaluate(
+            partition_2d_finegrain(a, k, cfg.partitioner(idx * 10 + 1)),
+            machine=cfg.machine,
+        )
+        qo = evaluate(
+            partition_mondriaan(a, k, cfg.partitioner(idx * 10 + 4)),
+            machine=cfg.machine,
+        )
+        qs = evaluate(
+            s2d_heuristic(a, x_part=p1.vectors, nparts=k), machine=cfg.machine
+        )
+        records.append({"name": sm.name, "1D": q1, "2D": qf, "orb": qo, "s2D": qs})
+        rows.append(
+            [
+                sm.name,
+                q1.format_li(), q1.total_volume,
+                qf.format_li(), qf.total_volume,
+                qo.format_li(), qo.total_volume,
+                qs.format_li(), qs.total_volume,
+            ]
+        )
+    rows.append(
+        [
+            "geomean",
+            "-", f"{geomean(r['1D'].total_volume for r in records):.0f}",
+            "-", f"{geomean(r['2D'].total_volume for r in records):.0f}",
+            "-", f"{geomean(r['orb'].total_volume for r in records):.0f}",
+            "-", f"{geomean(r['s2D'].total_volume for r in records):.0f}",
+        ]
+    )
+    text = format_table(
+        ["name", "1D:LI", "1D:vol", "2D:LI", "2D:vol",
+         "orb:LI", "orb:vol", "s2D:LI", "s2D:vol"],
+        rows,
+        title=f"Extension: Mondriaan ORB vs the paper's schemes (K={k}, "
+        f"scale={cfg.scale})",
+    )
+    return text, records
+
+
+def test_extra_orb(benchmark, cfg, results_dir):
+    text, records = run_once(benchmark, _run, cfg)
+    emit(results_dir, "extra_orb", text)
+    for rec in records:
+        # ORB is a genuine 2D method: balance comparable to fine-grain
+        assert rec["orb"].load_imbalance < 1.0
+    vol_orb = geomean(r["orb"].total_volume for r in records)
+    vol_1d = geomean(r["1D"].total_volume for r in records)
+    assert vol_orb < vol_1d  # 2D flexibility pays off on average

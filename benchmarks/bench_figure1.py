@@ -1,0 +1,17 @@
+"""Figure 1: the worked 10×13 example, rendered and pinned."""
+
+from conftest import emit, run_once
+
+from repro.core import pairwise_volumes
+from repro.experiments import figure1_partition, figure1_report
+
+
+def test_figure1(benchmark, results_dir):
+    text = run_once(benchmark, figure1_report)
+    emit(results_dir, "figure1", text)
+
+    p = figure1_partition()
+    lam = pairwise_volumes(p)
+    # the two worked numbers of the paper's Figure 1 caption/text
+    assert lam[(1, 0)] == 2  # P2 -> P1 carries [x_5, y~_2]
+    assert lam[(2, 1)] == 3  # lambda_{3->2} = 3

@@ -1,0 +1,14 @@
+"""Table I: properties of the general matrix suite."""
+
+from conftest import emit, run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, cfg, results_dir):
+    res = run_once(benchmark, run_table1, cfg)
+    emit(results_dir, "table1", res.text)
+    assert len(res.records) == 8
+    # the suite spans low and high row-degree skew, like the paper's
+    skews = [r["skew"] for r in res.records]
+    assert min(skews) < 3 and max(skews) > 10

@@ -1,0 +1,54 @@
+"""Table II: 1D rowwise vs 2D fine-grain vs s2D, K ∈ general_ks.
+
+Expected shape (paper, Section VI-A):
+
+- s2D's total volume ≤ 1D's on every instance;
+- s2D's message counts equal 1D's exactly (same vector partition);
+- 2D achieves the best balance but ~60% more messages;
+- s2D gives the best average speedup at the largest K.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import run_table2
+from repro.metrics import geomean
+
+
+def test_table2(benchmark, cfg, results_dir):
+    res = run_once(benchmark, run_table2, cfg)
+    emit(results_dir, "table2", res.text)
+
+    for rec in res.records:
+        q1, q2, qs = rec["1D"], rec["2D"], rec["s2D"]
+        # s2D never moves more words than 1D (Algorithm 1 invariant).
+        assert qs.total_volume <= q1.total_volume
+        # identical communication pattern -> identical latency columns
+        assert qs.avg_msgs == q1.avg_msgs
+        assert qs.max_msgs == q1.max_msgs
+        # 2D pays more messages than the single-phase schemes; near the
+        # all-to-all saturation point (dense instances at large K) the
+        # counts can tie, so allow a small per-instance slack and pin
+        # the suite-level claim below.
+        assert q2.avg_msgs >= 0.95 * q1.avg_msgs
+
+    big_k = max(r["K"] for r in res.records)
+    big = [r for r in res.records if r["K"] == big_k]
+    sp_1d = geomean(r["1D"].speedup for r in big)
+    sp_2d = geomean(r["2D"].speedup for r in big)
+    sp_s2d = geomean(r["s2D"].speedup for r in big)
+    # the paper's headline: s2D has the best average speedup.  The
+    # advantage needs enough processors for volume to matter (the paper
+    # shows it at K >= 16); at toy K the three schemes are within noise.
+    if big_k >= 16:
+        assert sp_s2d >= sp_1d
+        assert sp_s2d >= sp_2d
+    else:
+        assert sp_s2d >= 0.9 * max(sp_1d, sp_2d)
+    # 2D balance beats 1D at the largest K (fine-grain flexibility)
+    li_1d = geomean(r["1D"].load_imbalance for r in big)
+    li_2d = geomean(r["2D"].load_imbalance for r in big)
+    assert li_2d <= li_1d
+    # ...and 2D does pay more messages on suite average (paper: ~60%)
+    assert geomean(r["2D"].avg_msgs for r in big) >= geomean(
+        r["1D"].avg_msgs for r in big
+    )

@@ -1,0 +1,17 @@
+"""Table IV: properties of the dense-row matrix suite."""
+
+from conftest import emit, run_once
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, cfg, results_dir):
+    res = run_once(benchmark, run_table4, cfg)
+    emit(results_dir, "table4", res.text)
+    assert len(res.records) == 8
+    by_name = {r["name"]: r for r in res.records}
+    # the defining feature of this suite: dmax >> davg
+    for rec in res.records:
+        assert rec["skew"] > 4, rec["name"]
+    # ins2's analog keeps the paper's "a row that is full" property
+    assert by_name["ins2"]["dmax"] == by_name["ins2"]["n"]

@@ -1,0 +1,51 @@
+"""Table V: 1D vs s2D vs s2D-b on the dense-row suite, across K.
+
+Expected shape (paper, Section VI-B-1):
+
+- 1D load imbalance degenerates roughly linearly with K (a dense row
+  cannot be split rowwise);
+- s2D cuts the 1D volume dramatically (95%/80% at the paper's K);
+- s2D-b's volume sits between s2D's and 1D's;
+- s2D-b's max message count is O(√K) vs O(K) for 1D/s2D;
+- s2D-b's computational load equals s2D's (same nonzero partition).
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments import run_table5
+from repro.metrics import geomean
+from repro.partition.checkerboard import mesh_shape
+
+
+def test_table5(benchmark, cfg, results_dir):
+    res = run_once(benchmark, run_table5, cfg)
+    emit(results_dir, "table5", res.text)
+
+    for rec in res.records:
+        q1, qs, qb = rec["1D"], rec["s2D"], rec["s2D-b"]
+        assert qs.total_volume <= q1.total_volume
+        assert qs.total_volume <= qb.total_volume
+        # same nonzero partition -> identical load balance
+        assert abs(qb.load_imbalance - qs.load_imbalance) < 1e-12
+        # mesh routing bound
+        pr, pc = mesh_shape(rec["K"])
+        assert qb.max_msgs <= (pr - 1) + (pc - 1)
+        # 1D/s2D pattern is unbounded: max messages can reach K-1
+        assert qs.max_msgs <= rec["K"] - 1
+
+    ks = sorted({r["K"] for r in res.records})
+    li_1d = {
+        k: geomean(r["1D"].load_imbalance for r in res.records if r["K"] == k)
+        for k in ks
+    }
+    # paper: 1D balance degenerates with increasing K...
+    assert li_1d[ks[-1]] > li_1d[ks[0]]
+    li_s2d = {
+        k: geomean(r["s2D"].load_imbalance for r in res.records if r["K"] == k)
+        for k in ks
+    }
+    # ...while s2D stays far better at the largest K
+    assert li_s2d[ks[-1]] < li_1d[ks[-1]]
+    # volume: s2D achieves a large reduction on this suite
+    lam = geomean(r["lam_s2d"] for r in res.records if r["K"] == ks[-1])
+    assert lam < 0.8

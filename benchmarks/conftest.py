@@ -1,0 +1,43 @@
+"""Benchmark harness configuration.
+
+Each ``bench_table*.py`` regenerates one table (or figure) of the paper
+via :mod:`repro.experiments`, prints it, and stores the text under
+``benchmarks/results/`` so the output survives pytest's capture.
+
+Scale is controlled by ``REPRO_SCALE`` (tiny / small / medium, default
+small).  Benchmarks run exactly one round: the interesting output *is*
+the table, the timing is a bonus.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Render the paper's Figure 1 and trace its single-phase SpMV.
+
+Prints the reconstructed 10×13 matrix with per-nonzero owners, the
+fused messages of eq. (3), and then *executes* the modified SpMV
+(Precompute / Expand-and-Fold / Compute) showing what each processor
+computes and sends — the worked example of Section III, end to end.
+
+Run:  python examples/figure1_visualization.py
+"""
+
+import numpy as np
+
+from repro.experiments import figure1_partition, figure1_report
+from repro.simulate import run_single_phase
+
+
+def main() -> None:
+    print(figure1_report())
+    print()
+
+    p = figure1_partition()
+    x = np.arange(1, 14, dtype=np.float64)  # x_j = j, easy to eyeball
+    run = run_single_phase(p, x)
+
+    print("Executed single-phase SpMV with x = [1..13]:")
+    led = run.ledger
+    print(f"  messages: {led.total_msgs()}, words: {led.total_volume()}")
+    for ph in run.phases:
+        if ph.flops is not None:
+            print(f"  {ph.name:<16} flops/proc = {ph.flops.tolist()}")
+    # The worked packet of the text: P2 -> P1 carries [x_5, y~_2].
+    words = led.pair_volume("expand-and-fold", 1, 0)
+    print(f"  P2 -> P1 packet: {words} words ([x_5, y~_2])")
+    # With unit values: y_2 = x_2 (diag) + x_5 (expanded) + y~_2, where
+    # y~_2 = x_6 + x_7 = 13 was precomputed by P2 and folded in.
+    assert run.y[1] == p.matrix.toarray()[1] @ x
+    print(f"  y_2 assembled to {run.y[1]:.0f} = x_2 + x_5 + (x_6 + x_7)")
+    print("  output verified against serial A @ x inside the executor.")
+
+
+if __name__ == "__main__":
+    main()

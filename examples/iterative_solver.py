@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Power iteration on a partitioned matrix: SpMV as the inner kernel.
+
+The paper's motivation is iterative solvers: the same SpMV runs
+hundreds of times, so per-iteration communication cost compounds.  This
+example runs power iteration (dominant eigenvalue of a symmetric
+diffusion-like operator) where every ``y ← A x`` goes through the
+distributed single-phase executor, and reports the accumulated
+communication bill per scheme — the number an application owner
+actually cares about.
+
+Run:  python examples/iterative_solver.py
+"""
+
+import numpy as np
+
+from repro import (
+    MachineModel,
+    PartitionConfig,
+    partition_1d_rowwise,
+    run_single_phase,
+    s2d_heuristic,
+)
+from repro.generators import knn_mesh
+from repro.metrics import format_table
+
+K = 32
+ITERS = 30
+MACHINE = MachineModel(alpha=20, beta=2, gamma=1)
+
+
+def power_iteration(p, iters: int):
+    """Dominant eigenvalue via repeated simulated SpMV."""
+    n = p.matrix.shape[1]
+    x = np.ones(n) / np.sqrt(n)
+    lam = 0.0
+    total_time = 0.0
+    total_words = 0
+    total_msgs = 0
+    for _ in range(iters):
+        run = run_single_phase(p, x)
+        y = run.y
+        lam = float(x @ y)
+        x = y / np.linalg.norm(y)
+        total_time += run.time(MACHINE)
+        total_words += run.ledger.total_volume()
+        total_msgs += run.ledger.total_msgs()
+    return lam, total_time, total_words, total_msgs
+
+
+def main() -> None:
+    a = knn_mesh(800, 8, dim=2, seed=13, dense_rows=2, dense_fraction=0.2)
+    # symmetrize values so power iteration converges cleanly
+    a = ((a + a.T) * 0.5).tocoo()
+
+    oned = partition_1d_rowwise(a, K, PartitionConfig(seed=4))
+    s2d = s2d_heuristic(a, x_part=oned.vectors, nparts=K)
+
+    rows = []
+    lams = []
+    for p in (oned, s2d):
+        lam, t, words, msgs = power_iteration(p, ITERS)
+        lams.append(lam)
+        rows.append([p.kind, f"{lam:.6f}", f"{t:.0f}", words, msgs])
+    print(
+        format_table(
+            ["scheme", "lambda_max", "sim time", "total words", "total msgs"],
+            rows,
+            title=f"Power iteration, {ITERS} SpMVs, K={K}",
+        )
+    )
+    # Both schemes compute the same spectral estimate (same numerics)...
+    assert abs(lams[0] - lams[1]) < 1e-9
+    saved = 1 - rows[1][3] / rows[0][3]
+    print()
+    print(f"identical eigenvalue estimates; s2D shipped {100 * saved:.0f}% fewer")
+    print("words over the whole solve, with the same per-iteration message")
+    print("pattern — the compounding benefit the paper's introduction argues.")
+
+
+if __name__ == "__main__":
+    main()

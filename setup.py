@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so
+``pip install -e .`` must use the classic ``setup.py develop`` path;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

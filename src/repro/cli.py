@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli suite  --which table1 --scale small
+    python -m repro.cli table  --id 2 --scale tiny
+    python -m repro.cli figure1
+    python -m repro.cli spy --matrix trdheim --scheme s2d --k 3 --scale tiny
+    python -m repro.cli partition --matrix c-big --scheme s2d --k 16
+    python -m repro.cli partition --mtx path/to/file.mtx --scheme 2d --k 8
+
+The ``table`` subcommand regenerates any of the paper's Tables I–VII;
+``partition`` runs one scheme on one matrix and prints the quality
+summary the tables are made of.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import make_s2d_bounded, partition_s2d_medium_grain, s2d_heuristic, s2d_optimal
+from repro.experiments import (
+    ExperimentConfig,
+    figure1_report,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.generators.suite import SCALES, table1_suite, table4_suite
+from repro.partition import (
+    partition_1d_boman,
+    partition_1d_rowwise,
+    partition_2d_finegrain,
+    partition_checkerboard,
+)
+from repro.simulate import evaluate
+from repro.sparse import matrix_properties, read_matrix_market
+
+__all__ = ["main"]
+
+_TABLES = {
+    1: run_table1,
+    2: run_table2,
+    3: run_table3,
+    4: run_table4,
+    5: run_table5,
+    6: run_table6,
+    7: run_table7,
+}
+
+_SCHEMES = (
+    "1d", "2d", "2d-orb", "2d-b", "1d-b",
+    "s2d", "s2d-opt", "s2d-bal", "s2d-b", "s2d-mg",
+)
+
+
+def _find_matrix(name: str, scale: str):
+    for sm in table1_suite(scale) + table4_suite(scale):
+        if sm.name == name:
+            return sm.matrix()
+    raise SystemExit(f"unknown suite matrix {name!r}; see `suite` subcommand")
+
+
+def _build(scheme: str, a, k: int, cfg: ExperimentConfig):
+    if scheme == "1d":
+        return partition_1d_rowwise(a, k, cfg.partitioner())
+    if scheme == "2d":
+        return partition_2d_finegrain(a, k, cfg.partitioner())
+    if scheme == "2d-orb":
+        from repro.partition import partition_mondriaan
+
+        return partition_mondriaan(a, k, cfg.partitioner())
+    if scheme == "2d-b":
+        return partition_checkerboard(a, k, cfg.partitioner())
+    if scheme == "1d-b":
+        return partition_1d_boman(a, k, cfg.partitioner())
+    if scheme == "s2d-mg":
+        return partition_s2d_medium_grain(a, k, cfg.partitioner())
+    base = partition_1d_rowwise(a, k, cfg.partitioner())
+    if scheme == "s2d":
+        return s2d_heuristic(a, x_part=base.vectors, nparts=k)
+    if scheme == "s2d-opt":
+        return s2d_optimal(a, x_part=base.vectors, nparts=k)
+    if scheme == "s2d-bal":
+        from repro.core import s2d_heuristic_balanced
+
+        return s2d_heuristic_balanced(a, x_part=base.vectors, nparts=k)
+    if scheme == "s2d-b":
+        return make_s2d_bounded(s2d_heuristic(a, x_part=base.vectors, nparts=k))
+    raise SystemExit(f"unknown scheme {scheme!r}; pick one of {_SCHEMES}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="s2d-repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_suite = sub.add_parser("suite", help="list a matrix suite's properties")
+    p_suite.add_argument("--which", choices=("table1", "table4"), default="table1")
+    p_suite.add_argument("--scale", choices=SCALES, default="small")
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("--id", type=int, choices=sorted(_TABLES), required=True)
+    p_table.add_argument("--scale", choices=SCALES, default=None)
+
+    sub.add_parser("figure1", help="print the Figure 1 worked example")
+
+    p_spy = sub.add_parser("spy", help="ASCII spy plot of a partitioned matrix")
+    p_spy.add_argument("--matrix", required=True, help="suite matrix name")
+    p_spy.add_argument("--scheme", choices=_SCHEMES, default="s2d")
+    p_spy.add_argument("--k", type=int, default=3)
+    p_spy.add_argument("--scale", choices=SCALES, default="tiny")
+    p_spy.add_argument(
+        "--max-dim", type=int, default=80,
+        help="refuse to render matrices larger than this many rows/cols",
+    )
+
+    p_part = sub.add_parser("partition", help="run one scheme on one matrix")
+    p_part.add_argument("--matrix", help="suite matrix name (see `suite`)")
+    p_part.add_argument("--mtx", help="path to a MatrixMarket file")
+    p_part.add_argument("--scheme", choices=_SCHEMES, default="s2d")
+    p_part.add_argument("--k", type=int, default=16)
+    p_part.add_argument("--scale", choices=SCALES, default="small")
+
+    args = ap.parse_args(argv)
+
+    if args.cmd == "suite":
+        suite = table1_suite(args.scale) if args.which == "table1" else table4_suite(args.scale)
+        for sm in suite:
+            print(sm.properties().table_row())
+        return 0
+
+    if args.cmd == "table":
+        cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
+        print(_TABLES[args.id](cfg).text)
+        return 0
+
+    if args.cmd == "figure1":
+        print(figure1_report())
+        return 0
+
+    if args.cmd == "spy":
+        from repro.sparse import spy_string
+
+        a = _find_matrix(args.matrix, args.scale)
+        if max(a.shape) > args.max_dim:
+            raise SystemExit(
+                f"matrix is {a.shape}; use --max-dim to force rendering"
+            )
+        cfg = ExperimentConfig(scale=args.scale)
+        p = _build(args.scheme, a, args.k, cfg)
+        print(
+            spy_string(p.matrix, p.nnz_part, p.vectors.x_part, p.vectors.y_part)
+        )
+        return 0
+
+    if args.cmd == "partition":
+        if bool(args.matrix) == bool(args.mtx):
+            raise SystemExit("provide exactly one of --matrix / --mtx")
+        cfg = ExperimentConfig(scale=args.scale)
+        a = read_matrix_market(args.mtx) if args.mtx else _find_matrix(args.matrix, args.scale)
+        props = matrix_properties(a, name=args.matrix or args.mtx)
+        print(props.table_row())
+        p = _build(args.scheme, a, args.k, cfg)
+        q = evaluate(p, machine=cfg.machine)
+        print(
+            f"scheme={p.kind} K={q.nparts} LI={q.format_li()} "
+            f"volume={q.total_volume} msgs(avg/max)={q.avg_msgs:.1f}/{q.max_msgs} "
+            f"speedup={q.speedup:.1f}"
+        )
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""s2D nonzero partitioning (Section IV of the paper).
+
+Given a K-way input/output vector partition, every off-diagonal block
+``A_{ℓk}`` must be split into a row-side part ``A^{(ℓ)}_{ℓk}`` (kept
+with the y owner) and a column-side part ``A^{(k)}_{ℓk}`` (kept with
+the x owner).  Two methods:
+
+:func:`s2d_optimal`
+    Per-block optimum.  The coarse DM decomposition of the block yields
+    the horizontal sub-block ``H``; assigning exactly ``H`` to the
+    column side achieves the minimum possible volume ``λ_{k→ℓ} =
+    n̂(A_{ℓk}) − n̂(H) + m̂(H)`` (the DM minimum-cover bound), summed
+    independently over blocks → globally volume-optimal for the given
+    vector partition.
+
+:func:`s2d_heuristic`
+    Algorithm 1.  Starts from pure rowwise (alternative A1 everywhere)
+    and flips blocks to their DM split (alternative A2) in decreasing
+    order of the volume saving ``λ⁻ = n̂(H) − m̂(H)``, but only when
+    the receiving processor's load stays under ``max(W̃, W_lim)`` —
+    the bi-objective trade-off between volume and balance (the exact
+    choice problem contains Knapsack, hence the greedy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dm import coarse_dm
+from repro.errors import PartitionError
+from repro.partition.types import SpMVPartition, VectorPartition
+from repro.partition.vector import vector_partition_from_rows
+from repro.sparse.blocks import BlockStructure
+from repro.sparse.coo import canonical_coo
+
+__all__ = ["s2d_optimal", "s2d_heuristic", "s2d_rowwise_baseline", "BlockChoice"]
+
+
+@dataclass
+class BlockChoice:
+    """Per-off-diagonal-block bookkeeping used by Algorithm 1.
+
+    ``h_nnz`` are triplet indices of the block's horizontal sub-block
+    (the nonzeros alternative A2 moves to the column owner).
+    """
+
+    row_part: int
+    col_part: int
+    h_nnz: np.ndarray
+    lambda_minus: int
+    chose_a2: bool = False
+
+    @property
+    def h_size(self) -> int:
+        return int(self.h_nnz.size)
+
+
+def _as_vectors(a, x_part, y_part, nparts: int) -> tuple:
+    m = canonical_coo(a)
+    if isinstance(x_part, VectorPartition):
+        return m, x_part
+    if x_part is None:
+        vectors = vector_partition_from_rows(m, np.asarray(y_part), nparts)
+    else:
+        vectors = VectorPartition(
+            x_part=np.asarray(x_part), y_part=np.asarray(y_part), nparts=nparts
+        )
+    return m, vectors
+
+
+def _block_choices(m, bs: BlockStructure) -> list[BlockChoice]:
+    """DM decomposition of every nonempty off-diagonal block."""
+    choices = []
+    for ell, k in bs.nonempty_offdiagonal_blocks():
+        idx = bs.block_nnz_indices(ell, k)
+        rows = m.row[idx]
+        cols = m.col[idx]
+        dm = coarse_dm(rows, cols)
+        mask = dm.horizontal_nnz_mask(rows, cols)
+        choices.append(
+            BlockChoice(
+                row_part=ell,
+                col_part=k,
+                h_nnz=idx[mask],
+                lambda_minus=dm.volume_reduction(),
+            )
+        )
+    return choices
+
+
+def s2d_rowwise_baseline(a, x_part=None, y_part=None, nparts: int = 1) -> SpMVPartition:
+    """The A1-everywhere partition: identical to 1D rowwise, but typed
+    as s2D (it is trivially admissible).  Used as the heuristic's start
+    state and as a reference in tests."""
+    m, vectors = _as_vectors(a, x_part, y_part, nparts)
+    nnz_part = vectors.y_part[m.row]
+    return SpMVPartition(matrix=m, nnz_part=nnz_part, vectors=vectors, kind="s2D")
+
+
+def s2d_optimal(a, x_part=None, y_part=None, nparts: int = 1) -> SpMVPartition:
+    """Volume-optimal s2D partition for the given vector partition.
+
+    Every off-diagonal block takes alternative (A2): its horizontal
+    sub-block goes to the column owner, the rest stays with the row
+    owner.  Load balance is *not* considered (Section IV-A).
+    """
+    m, vectors = _as_vectors(a, x_part, y_part, nparts)
+    bs = BlockStructure(m.row, m.col, vectors.x_part, vectors.y_part, vectors.nparts)
+    nnz_part = vectors.y_part[m.row].copy()
+    choices = _block_choices(m, bs)
+    for ch in choices:
+        nnz_part[ch.h_nnz] = ch.col_part
+        ch.chose_a2 = True
+    out = SpMVPartition(
+        matrix=m,
+        nnz_part=nnz_part,
+        vectors=vectors,
+        kind="s2D",
+        meta={"method": "optimal", "choices": choices},
+    )
+    out.validate_s2d()
+    return out
+
+
+def s2d_heuristic(
+    a,
+    x_part=None,
+    y_part=None,
+    nparts: int = 1,
+    w_lim: float | None = None,
+    epsilon: float = 0.03,
+    max_rounds: int = 64,
+) -> SpMVPartition:
+    """Algorithm 1: bi-objective s2D partitioning.
+
+    ``w_lim`` caps the maximum processor load; when omitted it defaults
+    to ``(1 + ε)`` times the average load (the paper runs PaToH with a
+    3% tolerance, so the same ε keeps the comparison like-for-like).
+    A flip is accepted while the receiver stays under
+    ``max(W̃, w_lim)`` — using the *current* maximum W̃ lets the
+    algorithm proceed even when the rowwise start already violates
+    ``w_lim``, exactly as the implementation note in Section IV-B says.
+    """
+    m, vectors = _as_vectors(a, x_part, y_part, nparts)
+    k = vectors.nparts
+    bs = BlockStructure(m.row, m.col, vectors.x_part, vectors.y_part, k)
+    if w_lim is None:
+        w_lim = (1.0 + epsilon) * (m.nnz / k)
+
+    loads = bs.rowwise_loads().astype(np.int64)
+    nnz_part = vectors.y_part[m.row].copy()
+    choices = _block_choices(m, bs)
+    # Decreasing volume saving; ties by larger H first (more balance relief).
+    choices.sort(key=lambda ch: (-ch.lambda_minus, -ch.h_size))
+
+    w_max = int(loads.max()) if loads.size else 0
+    rounds = 0
+    changed = True
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        for ch in choices:
+            if ch.chose_a2 or ch.h_size == 0:
+                continue
+            cap = max(float(w_max), float(w_lim))
+            if loads[ch.col_part] + ch.h_size <= cap:
+                ch.chose_a2 = True
+                loads[ch.col_part] += ch.h_size
+                loads[ch.row_part] -= ch.h_size
+                nnz_part[ch.h_nnz] = ch.col_part
+                w_max = int(loads.max())
+                changed = True
+
+    out = SpMVPartition(
+        matrix=m,
+        nnz_part=nnz_part,
+        vectors=vectors,
+        kind="s2D",
+        meta={
+            "method": "heuristic",
+            "w_lim": float(w_lim),
+            "rounds": rounds,
+            "choices": choices,
+        },
+    )
+    out.validate_s2d()
+    expected = loads
+    actual = out.loads()
+    if not np.array_equal(expected, actual):
+        raise PartitionError("internal load bookkeeping diverged from the partition")
+    return out

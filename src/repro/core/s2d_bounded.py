@@ -1,0 +1,173 @@
+"""s2D-b: latency-bounded s2D via virtual-mesh routing (Section VI-B).
+
+The nonzero partition is *unchanged* from s2D (so the computational
+load is identical — the paper states this explicitly under Table V);
+what changes is the communication schedule.  Processors are laid on a
+``Pr × Pc`` mesh and every fused ``[x̂, ŷ]`` message from ``P_k`` to
+``P_ℓ`` is routed in two hops with store-and-combine forwarding:
+
+- **row phase**: ``k = (r_k, c_k)`` sends to the intermediate
+  ``t = (r_k, c_ℓ)`` — at most ``Pc − 1`` messages per processor;
+- **column phase**: ``t`` forwards to ``ℓ = (r_ℓ, c_ℓ)`` — at most
+  ``Pr − 1`` messages per processor.
+
+Combining is what keeps the volume close to plain s2D (Table V shows
+λ/λ1D going from 0.20 to only 0.24 at K = 4096): an ``x_j`` needed by
+several processors in one mesh column crosses the row phase once, and
+partial results for the same ``y_i`` arriving at an intermediate from
+different senders in its mesh row are *summed* before forwarding, so
+they cross the column phase once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.volume import _admissible_sides
+from repro.errors import ConfigError
+from repro.partition.checkerboard import mesh_shape
+from repro.partition.types import SpMVPartition
+
+__all__ = ["make_s2d_bounded", "bounded_comm_stats", "RoutedCommStats"]
+
+
+@dataclass(frozen=True)
+class RoutedCommStats:
+    """Communication statistics of the two-hop routed schedule.
+
+    ``phase1_*`` / ``phase2_*`` arrays are per-processor; ``total_volume``
+    counts every word over every hop (a two-hop word costs two).
+    """
+
+    total_volume: int
+    phase1_sent_volume: np.ndarray
+    phase2_sent_volume: np.ndarray
+    phase1_sent_msgs: np.ndarray
+    phase2_sent_msgs: np.ndarray
+    mesh: tuple[int, int]
+
+    @property
+    def sent_msgs(self) -> np.ndarray:
+        """Total messages per processor over both phases."""
+        return self.phase1_sent_msgs + self.phase2_sent_msgs
+
+    @property
+    def max_sent_msgs(self) -> int:
+        return int(self.sent_msgs.max()) if self.sent_msgs.size else 0
+
+    @property
+    def avg_sent_msgs(self) -> float:
+        return float(self.sent_msgs.mean()) if self.sent_msgs.size else 0.0
+
+
+def make_s2d_bounded(p: SpMVPartition, shape: tuple[int, int] | None = None) -> SpMVPartition:
+    """Tag an s2D partition as mesh-routed (kind ``s2D-b``).
+
+    Nonzero and vector partitions are shared with ``p``; the mesh shape
+    is recorded in ``meta`` for the simulator and the stats code.
+    """
+    p.validate_s2d()
+    pr, pc = shape if shape is not None else mesh_shape(p.nparts)
+    if pr * pc != p.nparts:
+        raise ConfigError(f"mesh {pr}x{pc} does not cover {p.nparts} processors")
+    return SpMVPartition(
+        matrix=p.matrix,
+        nnz_part=p.nnz_part.copy(),
+        vectors=p.vectors,
+        kind="s2D-b",
+        meta={**p.meta, "mesh": (pr, pc)},
+    )
+
+
+def _routing_tables(p: SpMVPartition, pr: int, pc: int):
+    """The logical item lists of the fused exchange.
+
+    Returns ``(x_items, y_items)``:
+
+    - ``x_items``: unique ``(k, ℓ, j)`` — x-word ``x_j`` from owner
+      ``k`` to consumer ``ℓ``;
+    - ``y_items``: unique ``(k, ℓ, i)`` — partial ``ȳ_i`` from
+      producer ``k`` to y-owner ``ℓ``.
+    """
+    m = p.matrix
+    knum = p.nparts
+    rp, cp, x_side, y_side = _admissible_sides(p)
+
+    ncols = m.shape[1]
+    xkeys = np.unique((cp[x_side] * knum + rp[x_side]).astype(np.int64) * (ncols + 1) + m.col[x_side])
+    x_src = (xkeys // (ncols + 1)) // knum
+    x_dst = (xkeys // (ncols + 1)) % knum
+    x_j = xkeys % (ncols + 1)
+
+    nrows = m.shape[0]
+    ykeys = np.unique((cp[y_side] * knum + rp[y_side]).astype(np.int64) * (nrows + 1) + m.row[y_side])
+    y_src = (ykeys // (nrows + 1)) // knum
+    y_dst = (ykeys // (nrows + 1)) % knum
+    y_i = ykeys % (nrows + 1)
+
+    return (x_src, x_dst, x_j), (y_src, y_dst, y_i)
+
+
+def bounded_comm_stats(p: SpMVPartition, shape: tuple[int, int] | None = None) -> RoutedCommStats:
+    """Volume/latency of the two-hop routed schedule with combining."""
+    pr, pc = shape if shape is not None else p.meta.get("mesh", mesh_shape(p.nparts))
+    if pr * pc != p.nparts:
+        raise ConfigError(f"mesh {pr}x{pc} does not cover {p.nparts} processors")
+    knum = p.nparts
+    (x_src, x_dst, x_j), (y_src, y_dst, y_i) = _routing_tables(p, pr, pc)
+
+    ncols = p.matrix.shape[1]
+    nrows = p.matrix.shape[0]
+
+    # ---- phase 1 (row phase): k -> t = (r_k, c_dst) ------------------
+    x_t = (x_src // pc) * pc + (x_dst % pc)
+    y_t = (y_src // pc) * pc + (y_dst % pc)
+    x_hop1 = x_t != x_src
+    y_hop1 = y_t != y_src
+    # Combine: an x_j travels k -> t once regardless of how many final
+    # destinations sit in t's mesh column; same for a partial y_i.
+    p1_x = np.unique(
+        (x_src[x_hop1] * knum + x_t[x_hop1]) * (ncols + 1) + x_j[x_hop1]
+    )
+    p1_y = np.unique(
+        (y_src[y_hop1] * knum + y_t[y_hop1]) * (nrows + 1) + y_i[y_hop1]
+    )
+    phase1_vol = np.zeros(knum, dtype=np.int64)
+    np.add.at(phase1_vol, (p1_x // (ncols + 1)) // knum, 1)
+    np.add.at(phase1_vol, (p1_y // (nrows + 1)) // knum, 1)
+    p1_pairs = np.unique(
+        np.concatenate([p1_x // (ncols + 1), p1_y // (nrows + 1)])
+    )
+    phase1_msgs = np.zeros(knum, dtype=np.int64)
+    np.add.at(phase1_msgs, p1_pairs // knum, 1)
+
+    # ---- phase 2 (column phase): t -> dst ----------------------------
+    x_hop2 = x_t != x_dst
+    y_hop2 = y_t != y_dst
+    p2_x = np.unique(
+        (x_t[x_hop2] * knum + x_dst[x_hop2]) * (ncols + 1) + x_j[x_hop2]
+    )
+    # Combine: partials for the same y_i meeting at t are summed, so the
+    # (t, dst, i) key deduplicates across senders.
+    p2_y = np.unique(
+        (y_t[y_hop2] * knum + y_dst[y_hop2]) * (nrows + 1) + y_i[y_hop2]
+    )
+    phase2_vol = np.zeros(knum, dtype=np.int64)
+    np.add.at(phase2_vol, (p2_x // (ncols + 1)) // knum, 1)
+    np.add.at(phase2_vol, (p2_y // (nrows + 1)) // knum, 1)
+    p2_pairs = np.unique(
+        np.concatenate([p2_x // (ncols + 1), p2_y // (nrows + 1)])
+    )
+    phase2_msgs = np.zeros(knum, dtype=np.int64)
+    np.add.at(phase2_msgs, p2_pairs // knum, 1)
+
+    return RoutedCommStats(
+        total_volume=int(phase1_vol.sum() + phase2_vol.sum()),
+        phase1_sent_volume=phase1_vol,
+        phase2_sent_volume=phase2_vol,
+        phase1_sent_msgs=phase1_msgs,
+        phase2_sent_msgs=phase2_msgs,
+        mesh=(pr, pc),
+    )

@@ -1,0 +1,187 @@
+"""Single-phase communication bookkeeping (eq. 3 of the paper).
+
+For an s2D-admissible partition, processor ``P_k`` sends ``P_ℓ`` one
+message containing
+
+- the x entries ``x̂^{(k)}_ℓ`` — one word per nonempty column of
+  ``A^{(ℓ)}_{ℓk}`` (the row-side nonzeros of block ``(ℓ, k)``), and
+- the precomputed partials ``ŷ^{(ℓ)}_k`` — one word per nonempty row
+  of ``A^{(k)}_{ℓk}`` (the column-side nonzeros),
+
+so ``λ_{k→ℓ} = n̂(A^{(ℓ)}_{ℓk}) + m̂(A^{(k)}_{ℓk})``.  The message
+``k → ℓ`` exists iff block ``A_{ℓk}`` is nonempty — a function of the
+vector partition alone, which is why s2D and 1D share one
+communication pattern (first observation of Section III).
+
+Everything here is derived analytically from the partition; the
+simulator in :mod:`repro.simulate` measures the same numbers by
+actually exchanging messages, and the test suite pins the two to be
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.types import SpMVPartition
+
+__all__ = [
+    "CommStats",
+    "single_phase_comm_stats",
+    "two_phase_comm_stats",
+    "pairwise_volumes",
+]
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Per-processor communication statistics of one SpMV.
+
+    Volumes are in words; message counts are per processor per SpMV.
+    """
+
+    total_volume: int
+    sent_volume: np.ndarray
+    recv_volume: np.ndarray
+    sent_msgs: np.ndarray
+    recv_msgs: np.ndarray
+
+    @property
+    def nparts(self) -> int:
+        return int(self.sent_volume.size)
+
+    @property
+    def max_sent_volume(self) -> int:
+        return int(self.sent_volume.max()) if self.sent_volume.size else 0
+
+    @property
+    def avg_sent_msgs(self) -> float:
+        return float(self.sent_msgs.mean()) if self.sent_msgs.size else 0.0
+
+    @property
+    def max_sent_msgs(self) -> int:
+        return int(self.sent_msgs.max()) if self.sent_msgs.size else 0
+
+    @property
+    def total_msgs(self) -> int:
+        return int(self.sent_msgs.sum())
+
+
+def _admissible_sides(p: SpMVPartition) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split the off-diagonal nonzeros into row-side and column-side."""
+    m = p.matrix
+    rp = p.vectors.y_part[m.row]
+    cp = p.vectors.x_part[m.col]
+    on_row = p.nnz_part == rp
+    on_col = p.nnz_part == cp
+    if not np.all(on_row | on_col):
+        raise PartitionError(
+            "single-phase volume formula requires an s2D-admissible partition"
+        )
+    off = rp != cp
+    return rp, cp, on_row & off, (~on_row) & on_col & off
+
+
+def pairwise_volumes(p: SpMVPartition) -> dict[tuple[int, int], int]:
+    """``λ_{k→ℓ}`` for every communicating pair ``(k, ℓ)`` (eq. 3)."""
+    m = p.matrix
+    k = p.nparts
+    rp, cp, x_side, y_side = _admissible_sides(p)
+    out: dict[tuple[int, int], int] = {}
+    # x words: sender cp, receiver rp, one word per distinct column.
+    if np.any(x_side):
+        keys = (cp[x_side] * k + rp[x_side]) * (m.shape[1] + 1) + m.col[x_side]
+        pair_keys = np.unique(keys) // (m.shape[1] + 1)
+        pairs, counts = np.unique(pair_keys, return_counts=True)
+        for pk, c in zip(pairs, counts):
+            out[(int(pk // k), int(pk % k))] = out.get((int(pk // k), int(pk % k)), 0) + int(c)
+    # partial-y words: sender cp, receiver rp, one word per distinct row.
+    if np.any(y_side):
+        keys = (cp[y_side] * k + rp[y_side]) * (m.shape[0] + 1) + m.row[y_side]
+        pair_keys = np.unique(keys) // (m.shape[0] + 1)
+        pairs, counts = np.unique(pair_keys, return_counts=True)
+        for pk, c in zip(pairs, counts):
+            out[(int(pk // k), int(pk % k))] = out.get((int(pk // k), int(pk % k)), 0) + int(c)
+    return out
+
+
+def two_phase_comm_stats(p: SpMVPartition) -> tuple[CommStats, CommStats]:
+    """Analytic (expand, fold) statistics of the classic two-phase SpMV.
+
+    Valid for *any* nonzero partition (fine-grain, checkerboard, 1D-b,
+    Mondriaan...).  Expand: ``x_j`` travels from its owner to every
+    other processor holding a nonzero in column ``j``.  Fold: the
+    locally combined partial for ``y_i`` travels from every non-owner
+    holder of a row-``i`` nonzero to the y owner.  The simulator's
+    ledger reproduces these numbers exactly (tested).
+    """
+    m = p.matrix
+    k = p.nparts
+    holder = p.nnz_part
+    x_owner = p.vectors.x_part[m.col]
+    y_owner = p.vectors.y_part[m.row]
+
+    def _phase(src, dst, line, nlines):
+        away = src != dst
+        keys = np.unique(
+            (src[away].astype(np.int64) * k + dst[away]) * (nlines + 1) + line[away]
+        )
+        pair = keys // (nlines + 1)
+        sent_v = np.zeros(k, dtype=np.int64)
+        recv_v = np.zeros(k, dtype=np.int64)
+        np.add.at(sent_v, pair // k, 1)
+        np.add.at(recv_v, pair % k, 1)
+        pairs = np.unique(pair)
+        sent_m = np.zeros(k, dtype=np.int64)
+        recv_m = np.zeros(k, dtype=np.int64)
+        np.add.at(sent_m, pairs // k, 1)
+        np.add.at(recv_m, pairs % k, 1)
+        return CommStats(
+            total_volume=int(sent_v.sum()),
+            sent_volume=sent_v,
+            recv_volume=recv_v,
+            sent_msgs=sent_m,
+            recv_msgs=recv_m,
+        )
+
+    expand = _phase(x_owner, holder, m.col, m.shape[1])
+    fold = _phase(holder, y_owner, m.row, m.shape[0])
+    return expand, fold
+
+
+def single_phase_comm_stats(p: SpMVPartition) -> CommStats:
+    """Aggregate :class:`CommStats` of the single-phase (fused) SpMV.
+
+    Message counts follow the nonempty-block pattern of the *vector*
+    partition: ``P_k`` messages ``P_ℓ`` iff block ``A_{ℓk}`` has any
+    nonzero, whichever side its nonzeros were assigned to.
+    """
+    m = p.matrix
+    k = p.nparts
+    rp = p.vectors.y_part[m.row]
+    cp = p.vectors.x_part[m.col]
+    off = rp != cp
+
+    sent_volume = np.zeros(k, dtype=np.int64)
+    recv_volume = np.zeros(k, dtype=np.int64)
+    for (src, dst), lam in pairwise_volumes(p).items():
+        sent_volume[src] += lam
+        recv_volume[dst] += lam
+
+    sent_msgs = np.zeros(k, dtype=np.int64)
+    recv_msgs = np.zeros(k, dtype=np.int64)
+    if np.any(off):
+        pair_keys = np.unique(cp[off] * k + rp[off])
+        np.add.at(sent_msgs, pair_keys // k, 1)
+        np.add.at(recv_msgs, pair_keys % k, 1)
+
+    return CommStats(
+        total_volume=int(sent_volume.sum()),
+        sent_volume=sent_volume,
+        recv_volume=recv_volume,
+        sent_msgs=sent_msgs,
+        recv_msgs=recv_msgs,
+    )

@@ -1,0 +1,33 @@
+"""Exception types for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partition is structurally invalid.
+
+    Examples: a part id out of range, a nonzero assigned to a processor
+    that owns neither its row's y-entry nor its column's x-entry (s2D
+    admissibility violation), or mismatched partition sizes.
+    """
+
+
+class ModelError(ReproError):
+    """Raised when a hypergraph model cannot be built for a matrix."""
+
+
+class SimulationError(ReproError):
+    """Raised when the distributed SpMV simulation detects an inconsistency.
+
+    The simulator validates that every received message was actually sent,
+    that phases are executed in order, and that the assembled output vector
+    equals the serial reference ``A @ x``.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid user-supplied configuration values."""

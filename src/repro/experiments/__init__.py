@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per artefact family:
+
+- :mod:`repro.experiments.config` — shared scale / machine / seed
+  configuration (``REPRO_SCALE`` environment variable);
+- :mod:`repro.experiments.figure1` — the worked 10×13 example of
+  Figure 1;
+- :mod:`repro.experiments.tables` — Tables I–VII.
+
+Benchmarks (``benchmarks/``), the CLI (``python -m repro.cli``) and the
+examples all call these functions, so the numbers in every output
+channel agree.
+"""
+
+from repro.experiments.config import ExperimentConfig, current_scale
+from repro.experiments.figure1 import figure1_partition, figure1_report
+from repro.experiments.tables import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "current_scale",
+    "figure1_partition",
+    "figure1_report",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]

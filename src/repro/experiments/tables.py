@@ -1,0 +1,434 @@
+"""Tables I–VII of the paper, regenerated on the synthetic suites.
+
+Every ``run_table*`` function returns a :class:`TableResult` holding
+both the formatted text (printed by the benchmark harness) and the raw
+per-instance records (consumed by tests and EXPERIMENTS.md).  Matrix
+names match the paper so rows line up side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import (
+    make_s2d_bounded,
+    partition_s2d_medium_grain,
+    s2d_heuristic,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.generators.suite import SuiteMatrix, table1_suite, table4_suite
+from repro.metrics import format_li, format_table, geomean
+from repro.partition import (
+    partition_1d_boman,
+    partition_1d_rowwise,
+    partition_2d_finegrain,
+    partition_checkerboard,
+)
+from repro.simulate import PartitionQuality, evaluate
+
+__all__ = [
+    "TableResult",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]
+
+
+@dataclass
+class TableResult:
+    """A regenerated table: formatted text plus raw records."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+def _properties_table(suite: list[SuiteMatrix], title: str) -> TableResult:
+    headers = ["name", "n", "nnz", "davg", "dmax", "application"]
+    rows, records = [], []
+    for sm in suite:
+        p = sm.properties()
+        rows.append(
+            [p.name, p.nrows, p.nnz, f"{p.davg:.1f}", p.dmax, sm.application]
+        )
+        records.append(
+            {
+                "name": p.name,
+                "n": p.nrows,
+                "nnz": p.nnz,
+                "davg": p.davg,
+                "dmax": p.dmax,
+                "skew": p.row_skew,
+            }
+        )
+    return TableResult(title=title, headers=headers, rows=rows, records=records)
+
+
+def run_table1(cfg: ExperimentConfig | None = None) -> TableResult:
+    """Table I: properties of the general test suite."""
+    cfg = cfg or ExperimentConfig()
+    return _properties_table(
+        table1_suite(cfg.scale),
+        f"Table I analog (scale={cfg.scale}): general matrices",
+    )
+
+
+def run_table4(cfg: ExperimentConfig | None = None) -> TableResult:
+    """Table IV: properties of the dense-row suite."""
+    cfg = cfg or ExperimentConfig()
+    return _properties_table(
+        table4_suite(cfg.scale),
+        f"Table IV analog (scale={cfg.scale}): matrices with dense rows",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II: 1D vs 2D vs s2D
+# ----------------------------------------------------------------------
+
+
+def _q(p, cfg) -> PartitionQuality:
+    return evaluate(p, machine=cfg.machine)
+
+
+def run_table2(
+    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+) -> TableResult:
+    """Table II: 1D rowwise vs 2D fine-grain vs s2D (Algorithm 1)."""
+    cfg = cfg or ExperimentConfig()
+    ks = ks or cfg.general_ks
+    headers = [
+        "name", "K",
+        "1D:LI", "1D:lat(av/mx)", "lam1D", "1D:Sp",
+        "2D:LI", "2D:lat(av/mx)", "2D:lam/1D", "2D:Sp",
+        "s2D:LI", "s2D:lam/1D", "s2D:Sp",
+    ]
+    rows, records = [], []
+    per_k: dict[int, list[dict]] = {k: [] for k in ks}
+    for idx, sm in enumerate(table1_suite(cfg.scale)):
+        a = sm.matrix()
+        for k in ks:
+            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
+            q1 = _q(p1, cfg)
+            p2 = partition_2d_finegrain(a, k, cfg.partitioner(idx * 10 + 1))
+            q2 = _q(p2, cfg)
+            ps = s2d_heuristic(
+                a, x_part=p1.vectors, nparts=k  # reuse 1D's vector partition
+            )
+            qs = _q(ps, cfg)
+            rec = {
+                "name": sm.name, "K": k,
+                "1D": q1, "2D": q2, "s2D": qs,
+                "lam_ratio_2d": q2.total_volume / q1.total_volume,
+                "lam_ratio_s2d": qs.total_volume / q1.total_volume,
+            }
+            records.append(rec)
+            per_k[k].append(rec)
+            rows.append(
+                [
+                    sm.name, k,
+                    q1.format_li(), f"{q1.avg_msgs:.0f}/{q1.max_msgs}",
+                    f"{q1.total_volume:.2e}", f"{q1.speedup:.1f}",
+                    q2.format_li(), f"{q2.avg_msgs:.0f}/{q2.max_msgs}",
+                    f"{rec['lam_ratio_2d']:.2f}", f"{q2.speedup:.1f}",
+                    qs.format_li(), f"{rec['lam_ratio_s2d']:.2f}",
+                    f"{qs.speedup:.1f}",
+                ]
+            )
+    for k in ks:
+        rs = per_k[k]
+        if not rs:
+            continue
+        rows.append(
+            [
+                "geomean", k,
+                format_li(geomean(r["1D"].load_imbalance for r in rs)),
+                f"{geomean(r['1D'].avg_msgs for r in rs):.0f}/"
+                f"{geomean(r['1D'].max_msgs for r in rs):.0f}",
+                f"{geomean(r['1D'].total_volume for r in rs):.2e}",
+                f"{geomean(r['1D'].speedup for r in rs):.1f}",
+                format_li(geomean(r["2D"].load_imbalance for r in rs)),
+                f"{geomean(r['2D'].avg_msgs for r in rs):.0f}/"
+                f"{geomean(r['2D'].max_msgs for r in rs):.0f}",
+                f"{geomean(r['lam_ratio_2d'] for r in rs):.2f}",
+                f"{geomean(r['2D'].speedup for r in rs):.1f}",
+                format_li(geomean(r["s2D"].load_imbalance for r in rs)),
+                f"{geomean(r['lam_ratio_s2d'] for r in rs):.2f}",
+                f"{geomean(r['s2D'].speedup for r in rs):.1f}",
+            ]
+        )
+    return TableResult(
+        title=f"Table II analog (scale={cfg.scale}): 1D vs 2D vs s2D",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III: checkerboard vs best of (1D, 2D, s2D)
+# ----------------------------------------------------------------------
+
+
+def run_table3(
+    cfg: ExperimentConfig | None = None, k: int | None = None
+) -> TableResult:
+    """Table III: hypergraph Cartesian 2D-b vs the best unbounded scheme."""
+    cfg = cfg or ExperimentConfig()
+    k = k or cfg.general_ks[-1]
+    headers = [
+        "name", "best(1D,2D,s2D):Sp", "scheme",
+        "2Db:LI", "2Db:lat(av/mx)", "2Db:lam/1D", "2Db:Sp",
+    ]
+    rows, records = [], []
+    for idx, sm in enumerate(table1_suite(cfg.scale)):
+        a = sm.matrix()
+        p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
+        q1 = _q(p1, cfg)
+        p2 = partition_2d_finegrain(a, k, cfg.partitioner(idx * 10 + 1))
+        q2 = _q(p2, cfg)
+        ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
+        qs = _q(ps, cfg)
+        pb = partition_checkerboard(a, k, cfg.partitioner(idx * 10 + 2))
+        qb = _q(pb, cfg)
+        best_name, best_q = max(
+            (("1D", q1), ("2D", q2), ("s2D", qs)), key=lambda t: t[1].speedup
+        )
+        rec = {
+            "name": sm.name, "K": k, "best": best_name, "best_q": best_q,
+            "2D-b": qb, "lam_ratio": qb.total_volume / q1.total_volume,
+        }
+        records.append(rec)
+        rows.append(
+            [
+                sm.name, f"{best_q.speedup:.1f}", best_name,
+                qb.format_li(), f"{qb.avg_msgs:.0f}/{qb.max_msgs}",
+                f"{rec['lam_ratio']:.2f}", f"{qb.speedup:.1f}",
+            ]
+        )
+    rows.append(
+        [
+            "geomean",
+            f"{geomean(r['best_q'].speedup for r in records):.1f}", "-",
+            format_li(geomean(r["2D-b"].load_imbalance for r in records)),
+            f"{geomean(r['2D-b'].avg_msgs for r in records):.0f}/"
+            f"{geomean(r['2D-b'].max_msgs for r in records):.0f}",
+            f"{geomean(r['lam_ratio'] for r in records):.2f}",
+            f"{geomean(r['2D-b'].speedup for r in records):.1f}",
+        ]
+    )
+    return TableResult(
+        title=f"Table III analog (scale={cfg.scale}, K={k}): Cartesian 2D-b",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table V: 1D vs s2D vs s2D-b on the dense-row suite
+# ----------------------------------------------------------------------
+
+
+def run_table5(
+    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+) -> TableResult:
+    """Table V: the dense-row suite under 1D, s2D and s2D-b."""
+    cfg = cfg or ExperimentConfig()
+    ks = ks or cfg.dense_ks
+    headers = [
+        "name", "K",
+        "1D:LI", "1D:lat(av/mx)", "lam1D",
+        "s2D:LI", "s2D:lam/1D",
+        "s2Db:lat(av/mx)", "s2Db:lam/1D",
+    ]
+    rows, records = [], []
+    per_k: dict[int, list[dict]] = {k: [] for k in ks}
+    for idx, sm in enumerate(table4_suite(cfg.scale)):
+        a = sm.matrix()
+        for k in ks:
+            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
+            q1 = _q(p1, cfg)
+            ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
+            qs = _q(ps, cfg)
+            pb = make_s2d_bounded(ps)
+            qb = _q(pb, cfg)
+            rec = {
+                "name": sm.name, "K": k, "1D": q1, "s2D": qs, "s2D-b": qb,
+                "lam_s2d": qs.total_volume / q1.total_volume,
+                "lam_s2db": qb.total_volume / q1.total_volume,
+            }
+            records.append(rec)
+            per_k[k].append(rec)
+            rows.append(
+                [
+                    sm.name, k,
+                    q1.format_li(), f"{q1.avg_msgs:.0f}/{q1.max_msgs}",
+                    f"{q1.total_volume:.2e}",
+                    qs.format_li(), f"{rec['lam_s2d']:.2f}",
+                    f"{qb.avg_msgs:.0f}/{qb.max_msgs}",
+                    f"{rec['lam_s2db']:.2f}",
+                ]
+            )
+    for k in ks:
+        rs = per_k[k]
+        rows.append(
+            [
+                "geomean", k,
+                format_li(geomean(r["1D"].load_imbalance for r in rs)),
+                f"{geomean(r['1D'].avg_msgs for r in rs):.0f}/"
+                f"{geomean(r['1D'].max_msgs for r in rs):.0f}",
+                f"{geomean(r['1D'].total_volume for r in rs):.2e}",
+                format_li(geomean(r["s2D"].load_imbalance for r in rs)),
+                f"{geomean(r['lam_s2d'] for r in rs):.2f}",
+                f"{geomean(r['s2D-b'].avg_msgs for r in rs):.0f}/"
+                f"{geomean(r['s2D-b'].max_msgs for r in rs):.0f}",
+                f"{geomean(r['lam_s2db'] for r in rs):.2f}",
+            ]
+        )
+    return TableResult(
+        title=f"Table V analog (scale={cfg.scale}): 1D vs s2D vs s2D-b",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VI: s2D-b vs 2D-b vs 1D-b
+# ----------------------------------------------------------------------
+
+
+def run_table6(
+    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+) -> TableResult:
+    """Table VI: the latency-bounded schemes compared."""
+    cfg = cfg or ExperimentConfig()
+    ks = ks or cfg.dense_ks
+    headers = [
+        "name", "K",
+        "2Db:LI", "lam2Db",
+        "1Db:LI", "1Db:lam/2Db",
+        "s2Db:LI", "s2Db:lam/2Db",
+    ]
+    rows, records = [], []
+    per_k: dict[int, list[dict]] = {k: [] for k in ks}
+    for idx, sm in enumerate(table4_suite(cfg.scale)):
+        a = sm.matrix()
+        for k in ks:
+            pcb = partition_checkerboard(a, k, cfg.partitioner(idx * 10 + 2))
+            qcb = _q(pcb, cfg)
+            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
+            p1b = partition_1d_boman(a, k, base=p1)
+            q1b = _q(p1b, cfg)
+            ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
+            psb = make_s2d_bounded(ps)
+            qsb = _q(psb, cfg)
+            rec = {
+                "name": sm.name, "K": k,
+                "2D-b": qcb, "1D-b": q1b, "s2D-b": qsb,
+                "lam_1db": q1b.total_volume / qcb.total_volume,
+                "lam_s2db": qsb.total_volume / qcb.total_volume,
+            }
+            records.append(rec)
+            per_k[k].append(rec)
+            rows.append(
+                [
+                    sm.name, k,
+                    qcb.format_li(), f"{qcb.total_volume:.2e}",
+                    q1b.format_li(), f"{rec['lam_1db']:.2f}",
+                    qsb.format_li(), f"{rec['lam_s2db']:.2f}",
+                ]
+            )
+    for k in ks:
+        rs = per_k[k]
+        rows.append(
+            [
+                "geomean", k,
+                format_li(geomean(r["2D-b"].load_imbalance for r in rs)),
+                f"{geomean(r['2D-b'].total_volume for r in rs):.2e}",
+                format_li(geomean(r["1D-b"].load_imbalance for r in rs)),
+                f"{geomean(r['lam_1db'] for r in rs):.2f}",
+                format_li(geomean(r["s2D-b"].load_imbalance for r in rs)),
+                f"{geomean(r['lam_s2db'] for r in rs):.2f}",
+            ]
+        )
+    return TableResult(
+        title=f"Table VI analog (scale={cfg.scale}): bounded-latency schemes",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VII: s2D vs s2D-mg
+# ----------------------------------------------------------------------
+
+
+def run_table7(
+    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+) -> TableResult:
+    """Table VII: the Algorithm-1 s2D vs the medium-grain s2D."""
+    cfg = cfg or ExperimentConfig()
+    ks = ks or cfg.dense_ks
+    headers = [
+        "name", "K",
+        "mg:LI", "mg:lat", "lam_mg",
+        "s2D:LI", "s2D:lat", "s2D:lam/mg",
+    ]
+    rows, records = [], []
+    per_k: dict[int, list[dict]] = {k: [] for k in ks}
+    for idx, sm in enumerate(table4_suite(cfg.scale)):
+        a = sm.matrix()
+        for k in ks:
+            pmg = partition_s2d_medium_grain(a, k, cfg.partitioner(idx * 10 + 3))
+            qmg = _q(pmg, cfg)
+            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
+            ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
+            qs = _q(ps, cfg)
+            rec = {
+                "name": sm.name, "K": k, "mg": qmg, "s2D": qs,
+                "lam_ratio": qs.total_volume / max(qmg.total_volume, 1),
+            }
+            records.append(rec)
+            per_k[k].append(rec)
+            rows.append(
+                [
+                    sm.name, k,
+                    qmg.format_li(), f"{qmg.avg_msgs:.0f}",
+                    f"{qmg.total_volume:.2e}",
+                    qs.format_li(), f"{qs.avg_msgs:.0f}",
+                    f"{rec['lam_ratio']:.2f}",
+                ]
+            )
+    for k in ks:
+        rs = per_k[k]
+        rows.append(
+            [
+                "geomean", k,
+                format_li(geomean(r["mg"].load_imbalance for r in rs)),
+                f"{geomean(r['mg'].avg_msgs for r in rs):.0f}",
+                f"{geomean(r['mg'].total_volume for r in rs):.2e}",
+                format_li(geomean(r["s2D"].load_imbalance for r in rs)),
+                f"{geomean(r['s2D'].avg_msgs for r in rs):.0f}",
+                f"{geomean(r['lam_ratio'] for r in rs):.2f}",
+            ]
+        )
+    return TableResult(
+        title=f"Table VII analog (scale={cfg.scale}): s2D vs s2D-mg",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )

@@ -1,0 +1,37 @@
+"""Synthetic workload generators.
+
+The paper's matrices come from the UFL collection and SNAP; offline we
+generate structural analogs that reproduce the signatures the paper's
+analysis keys on — average row degree, maximum row degree (dense rows),
+and degree skew:
+
+- :mod:`repro.generators.mesh` — FEM-like matrices (stencils, k-NN
+  graphs of point clouds) for the structural-engineering analogs;
+- :mod:`repro.generators.rmat` — the R-MAT generator with the paper's
+  exact parameters (a=0.57, b=c=0.19, d=0.05);
+- :mod:`repro.generators.powerlaw` — Chung–Lu scale-free graphs
+  (social-network analogs);
+- :mod:`repro.generators.circuit` — circuit/optimization analogs with
+  extremely dense rows and columns;
+- :mod:`repro.generators.suite` — the named Table I / Table IV suites.
+"""
+
+from repro.generators.circuit import arrow_matrix, banded_with_dense_rows, circuit_like
+from repro.generators.mesh import knn_mesh, poisson2d, poisson3d
+from repro.generators.powerlaw import chung_lu
+from repro.generators.rmat import rmat
+from repro.generators.suite import SuiteMatrix, table1_suite, table4_suite
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "knn_mesh",
+    "rmat",
+    "chung_lu",
+    "circuit_like",
+    "banded_with_dense_rows",
+    "arrow_matrix",
+    "SuiteMatrix",
+    "table1_suite",
+    "table4_suite",
+]

@@ -1,0 +1,101 @@
+"""Circuit-simulation and optimization analogs: dense rows and columns.
+
+Table IV's matrices (ASIC_680k, ins2, rajat30, boyd2, lp1) share one
+decisive feature: a handful of rows/columns touching a large fraction
+of the matrix (power/ground nets in circuits, coupling constraints in
+LPs) on top of an otherwise very sparse, near-banded structure.  That
+is exactly what makes 1D partitioning collapse — the dense row's
+nonzeros cannot be split — and what the s2D schemes exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.rng import as_generator
+from repro.sparse.coo import canonical_coo
+
+__all__ = ["banded_with_dense_rows", "circuit_like", "arrow_matrix"]
+
+
+def _values(rows, cols, n, rng) -> sp.coo_matrix:
+    vals = rng.uniform(0.5, 1.5, size=len(rows))
+    m = canonical_coo(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+    m.data = np.clip(m.data, 0.5, 1.5)
+    return m
+
+
+def banded_with_dense_rows(
+    n: int,
+    band: int = 2,
+    ndense: int = 2,
+    dense_fraction: float = 0.2,
+    symmetric_dense: bool = False,
+    seed=None,
+) -> sp.coo_matrix:
+    """A banded matrix plus ``ndense`` rows touching ``dense_fraction·n``
+    random columns (boyd2 / ins2 analog; with ``symmetric_dense`` the
+    matching columns are dense too)."""
+    rng = as_generator(seed)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    for off in range(1, band + 1):
+        rows += [np.arange(n - off), np.arange(off, n)]
+        cols += [np.arange(off, n), np.arange(n - off)]
+    nd = max(1, int(dense_fraction * n))
+    dense_ids = rng.choice(n, size=ndense, replace=False)
+    for r in dense_ids:
+        targets = rng.choice(n, size=nd, replace=False)
+        rows.append(np.full(nd, r))
+        cols.append(targets)
+        if symmetric_dense:
+            rows.append(targets)
+            cols.append(np.full(nd, r))
+    return _values(np.concatenate(rows), np.concatenate(cols), n, rng)
+
+
+def circuit_like(
+    n: int,
+    avg_degree: float = 4.0,
+    ndense: int = 3,
+    dense_fraction: float = 0.4,
+    seed=None,
+) -> sp.coo_matrix:
+    """Random sparse connectivity plus dense power/ground-style nets.
+
+    ASIC_680k / rajat30 analog: davg ≈ ``avg_degree`` but dmax ≈
+    ``dense_fraction · n`` — the three-orders-of-magnitude skew that
+    drives the paper's 96% volume reductions.
+    """
+    rng = as_generator(seed)
+    nrand = max(1, int((avg_degree - 1.0) * n / 2))
+    src = rng.integers(0, n, size=nrand)
+    dst = rng.integers(0, n, size=nrand)
+    keep = src != dst
+    rows = [np.arange(n), src[keep], dst[keep]]
+    cols = [np.arange(n), dst[keep], src[keep]]
+    nd = max(1, int(dense_fraction * n))
+    dense_ids = rng.choice(n, size=ndense, replace=False)
+    for r in dense_ids:
+        targets = rng.choice(n, size=nd, replace=False)
+        rows += [np.full(nd, r), targets]
+        cols += [targets, np.full(nd, r)]
+    return _values(np.concatenate(rows), np.concatenate(cols), n, rng)
+
+
+def arrow_matrix(n: int, nfull: int = 2, seed=None) -> sp.coo_matrix:
+    """Diagonal plus ``nfull`` completely full rows and columns.
+
+    The lp1 / ins2 extreme: a row of ``n`` nonzeros (ins2 "contains a
+    row that is full") makes perfect 1D balance impossible beyond
+    ``nnz/dmax`` processors — the theoretical bound the paper invokes.
+    """
+    rng = as_generator(seed)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    for r in range(nfull):
+        others = np.delete(np.arange(n), r)
+        rows += [np.full(n - 1, r), others]
+        cols += [others, np.full(n - 1, r)]
+    return _values(np.concatenate(rows), np.concatenate(cols), n, rng)

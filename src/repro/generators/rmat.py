@@ -1,0 +1,61 @@
+"""R-MAT recursive matrix generator (Chakrabarti, Zhan & Faloutsos 2004).
+
+The paper's ``rmat_20`` instance uses parameters a=0.57, b=c=0.19,
+d=0.05 with edges made undirected (Graph500 style); those are the
+defaults here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.rng import as_generator
+from repro.sparse.coo import canonical_coo
+
+__all__ = ["rmat"]
+
+
+def rmat(
+    scale: int,
+    edge_factor: float = 8.0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    d: float = 0.05,
+    undirected: bool = True,
+    seed=None,
+) -> sp.coo_matrix:
+    """Generate an R-MAT matrix of size ``2**scale``.
+
+    ``edge_factor`` edges per vertex are sampled (duplicates collapse,
+    so the realised nnz is somewhat smaller, as in the reference
+    generator).  Quadrant probabilities must sum to 1.
+    """
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ConfigError("R-MAT probabilities must sum to 1")
+    rng = as_generator(seed)
+    n = 1 << scale
+    nedges = int(edge_factor * n)
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    # Sample all bit levels at once: each level independently picks a
+    # quadrant with probabilities (a, b, c, d).
+    for _level in range(scale):
+        r = rng.random(nedges)
+        right = (r >= a) & (r < a + b)          # quadrant b: col bit set
+        down = (r >= a + b) & (r < a + b + c)   # quadrant c: row bit set
+        both = r >= a + b + c                   # quadrant d: both bits
+        rows = (rows << 1) | (down | both)
+        cols = (cols << 1) | (right | both)
+    if undirected:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    vals = rng.uniform(0.5, 1.5, size=rows.size)
+    m = canonical_coo(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+    # Canonicalisation sums duplicate samples; renormalise values so
+    # heavy cells don't get huge numerics.
+    m.data = np.clip(m.data, 0.5, 1.5)
+    return m

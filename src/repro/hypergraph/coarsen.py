@@ -1,0 +1,118 @@
+"""Agglomerative coarsening by heavy-connectivity matching.
+
+Pairs of vertices sharing many (and small) nets are merged, shrinking
+the hypergraph while approximately preserving its cut structure — the
+same scheme PaToH uses by default (HCM).  Each vertex is visited in
+random order and matched with the unmatched neighbour of maximum
+connectivity score ``Σ cost(e) / (|e| − 1)`` over shared nets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["coarsen_once"]
+
+
+def coarsen_once(
+    hg: Hypergraph,
+    rng: np.random.Generator,
+    max_net_size: int = 200,
+) -> tuple[np.ndarray, Hypergraph]:
+    """One level of heavy-connectivity matching.
+
+    Returns ``(cmap, coarse)`` where ``cmap[v]`` is the coarse vertex
+    holding fine vertex ``v``.  Nets of more than ``max_net_size`` pins
+    are skipped during scoring (their connectivity signal is diffuse and
+    scanning them would cost ``O(|e|²)`` overall).
+    """
+    n = hg.nvertices
+    xpins, pins = hg.xpins, hg.pins
+    xnets, nets = hg.xnets, hg.nets
+    ncosts = hg.ncosts
+    sizes = np.diff(xpins)
+
+    mate = np.full(n, -1, dtype=np.int64)
+    score = np.zeros(n, dtype=np.float64)
+    order = rng.permutation(n)
+
+    for v in order:
+        if mate[v] != -1:
+            continue
+        touched: list[int] = []
+        for e in nets[xnets[v] : xnets[v + 1]]:
+            sz = sizes[e]
+            if sz < 2 or sz > max_net_size:
+                continue
+            contrib = ncosts[e] / (sz - 1)
+            for u in pins[xpins[e] : xpins[e + 1]]:
+                if u != v and mate[u] == -1:
+                    if score[u] == 0.0:
+                        touched.append(u)
+                    score[u] += contrib
+        best = -1
+        best_score = 0.0
+        for u in touched:
+            if score[u] > best_score:
+                best_score = score[u]
+                best = u
+            score[u] = 0.0
+        if best != -1:
+            mate[v] = best
+            mate[best] = v
+
+    # Cluster ids: the smaller endpoint of each pair names the cluster.
+    cmap = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        cmap[v] = next_id
+        if mate[v] != -1:
+            cmap[mate[v]] = next_id
+        next_id += 1
+
+    coarse = _contract(hg, cmap, next_id)
+    return cmap, coarse
+
+
+def _contract(hg: Hypergraph, cmap: np.ndarray, ncoarse: int) -> Hypergraph:
+    """Contract ``hg`` along ``cmap`` into ``ncoarse`` vertices.
+
+    Per-net pins are remapped and deduplicated; single-pin nets are
+    dropped (they can never be cut); *identical* nets are merged with
+    their costs summed, which keeps coarse FM gains faithful.
+    """
+    vweights = np.zeros((ncoarse, hg.nconstraints), dtype=np.int64)
+    np.add.at(vweights, cmap, hg.vweights)
+
+    net_key: dict[bytes, int] = {}
+    net_pins: list[np.ndarray] = []
+    net_costs: list[int] = []
+    for e in range(hg.nnets):
+        mapped = np.unique(cmap[hg.net_pins(e)])
+        if mapped.size < 2:
+            continue
+        key = mapped.tobytes()
+        idx = net_key.get(key)
+        if idx is None:
+            net_key[key] = len(net_pins)
+            net_pins.append(mapped)
+            net_costs.append(int(hg.ncosts[e]))
+        else:
+            net_costs[idx] += int(hg.ncosts[e])
+
+    xpins = np.zeros(len(net_pins) + 1, dtype=np.int64)
+    for e, lst in enumerate(net_pins):
+        xpins[e + 1] = xpins[e] + lst.size
+    pins = (
+        np.concatenate(net_pins) if net_pins else np.empty(0, dtype=np.int64)
+    )
+    return Hypergraph(
+        xpins=xpins,
+        pins=pins,
+        vweights=vweights,
+        ncosts=np.asarray(net_costs, dtype=np.int64),
+    )

@@ -1,0 +1,141 @@
+"""The hypergraph data structure.
+
+Stored as two CSR-like pin lists: net → vertices (``xpins`` / ``pins``)
+and vertex → nets (``xnets`` / ``nets``), mirroring the layout used by
+PaToH.  Vertex weights are 2-D ``(nvertices, nconstraints)`` so the
+same structure serves single-constraint models (1D, fine-grain) and the
+multi-constraint checkerboard model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["Hypergraph"]
+
+
+@dataclass
+class Hypergraph:
+    """An undirected hypergraph with weighted vertices and costed nets.
+
+    Parameters
+    ----------
+    xpins:
+        ``int64[nnets + 1]`` CSR offsets into ``pins``.
+    pins:
+        ``int64[npins]`` — vertices of net ``e`` are
+        ``pins[xpins[e]:xpins[e+1]]``.
+    vweights:
+        ``int64[nvertices, ncon]`` vertex weights (``ncon`` balance
+        constraints; 1 for all single-constraint models).
+    ncosts:
+        ``int64[nnets]`` net costs (communication words saved per unit
+        of connectivity reduction).
+    """
+
+    xpins: np.ndarray
+    pins: np.ndarray
+    vweights: np.ndarray
+    ncosts: np.ndarray
+    xnets: np.ndarray = field(init=False, repr=False)
+    nets: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.xpins = np.asarray(self.xpins, dtype=np.int64)
+        self.pins = np.asarray(self.pins, dtype=np.int64)
+        vw = np.asarray(self.vweights, dtype=np.int64)
+        if vw.ndim == 1:
+            vw = vw.reshape(-1, 1)  # single-constraint weight vector
+        self.vweights = vw
+        self.ncosts = np.asarray(self.ncosts, dtype=np.int64)
+        self._validate()
+        self._build_vertex_to_net()
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_net_lists(
+        cls,
+        net_lists: list[list[int]],
+        nvertices: int,
+        vweights=None,
+        ncosts=None,
+    ) -> "Hypergraph":
+        """Build from an explicit list of pin lists (mostly for tests)."""
+        xpins = np.zeros(len(net_lists) + 1, dtype=np.int64)
+        for e, lst in enumerate(net_lists):
+            xpins[e + 1] = xpins[e] + len(lst)
+        pins = np.fromiter(
+            (v for lst in net_lists for v in lst), dtype=np.int64, count=int(xpins[-1])
+        )
+        if vweights is None:
+            vweights = np.ones((nvertices, 1), dtype=np.int64)
+        if ncosts is None:
+            ncosts = np.ones(len(net_lists), dtype=np.int64)
+        return cls(xpins=xpins, pins=pins, vweights=vweights, ncosts=ncosts)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nvertices(self) -> int:
+        return int(self.vweights.shape[0])
+
+    @property
+    def nnets(self) -> int:
+        return int(self.xpins.size - 1)
+
+    @property
+    def npins(self) -> int:
+        return int(self.pins.size)
+
+    @property
+    def nconstraints(self) -> int:
+        return int(self.vweights.shape[1])
+
+    def total_weight(self) -> np.ndarray:
+        """Per-constraint total vertex weight, shape ``(ncon,)``."""
+        return self.vweights.sum(axis=0)
+
+    def net_pins(self, e: int) -> np.ndarray:
+        """Vertices of net ``e``."""
+        return self.pins[self.xpins[e] : self.xpins[e + 1]]
+
+    def vertex_nets(self, v: int) -> np.ndarray:
+        """Nets incident to vertex ``v``."""
+        return self.nets[self.xnets[v] : self.xnets[v + 1]]
+
+    def net_sizes(self) -> np.ndarray:
+        """Pin count of every net."""
+        return np.diff(self.xpins)
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.xpins.size < 1 or self.xpins[0] != 0:
+            raise ModelError("xpins must start at 0")
+        if np.any(np.diff(self.xpins) < 0):
+            raise ModelError("xpins must be nondecreasing")
+        if self.xpins[-1] != self.pins.size:
+            raise ModelError("xpins[-1] must equal len(pins)")
+        if self.ncosts.size != self.nnets:
+            raise ModelError("one cost per net required")
+        if self.pins.size and (self.pins.min() < 0 or self.pins.max() >= self.nvertices):
+            raise ModelError("pin vertex id out of range")
+        if np.any(self.vweights < 0):
+            raise ModelError("vertex weights must be nonnegative")
+        if np.any(self.ncosts < 0):
+            raise ModelError("net costs must be nonnegative")
+
+    def _build_vertex_to_net(self) -> None:
+        n = self.nvertices
+        sizes = np.diff(self.xpins)
+        net_of_pin = np.repeat(np.arange(self.nnets, dtype=np.int64), sizes)
+        order = np.argsort(self.pins, kind="stable")
+        self.nets = net_of_pin[order]
+        counts = np.bincount(self.pins, minlength=n)
+        self.xnets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.xnets[1:])

@@ -1,0 +1,92 @@
+"""Initial bisections for the coarsest hypergraph.
+
+Two constructors, used as alternating trials by the multilevel driver:
+
+- :func:`random_bisection` — shuffled greedy fill to the target weight;
+- :func:`greedy_growing` — greedy hypergraph growing (GHG): grow part 0
+  from a random seed, always absorbing the vertex most connected to the
+  growing part, until the target weight is reached.
+
+Both return a 0/1 part array; quality is left to FM refinement.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["random_bisection", "greedy_growing"]
+
+
+def _fits(pw0: np.ndarray, w: np.ndarray, t0: np.ndarray) -> bool:
+    """Would adding weight ``w`` keep part 0 at or below its target?"""
+    return bool(np.all(pw0 + w <= t0))
+
+
+def random_bisection(
+    hg: Hypergraph, targets: tuple[np.ndarray, np.ndarray], rng: np.random.Generator
+) -> np.ndarray:
+    """Fill part 0 with randomly ordered vertices up to its target weight."""
+    t0 = np.asarray(targets[0], dtype=np.float64)
+    part = np.ones(hg.nvertices, dtype=np.int8)
+    pw0 = np.zeros(hg.nconstraints, dtype=np.int64)
+    for v in rng.permutation(hg.nvertices):
+        w = hg.vweights[v]
+        if _fits(pw0, w, t0):
+            part[v] = 0
+            pw0 += w
+    return part
+
+
+def greedy_growing(
+    hg: Hypergraph, targets: tuple[np.ndarray, np.ndarray], rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy hypergraph growing from a random seed vertex."""
+    n = hg.nvertices
+    t0 = np.asarray(targets[0], dtype=np.float64)
+    part = np.ones(n, dtype=np.int8)
+    pw0 = np.zeros(hg.nconstraints, dtype=np.int64)
+    gain = np.zeros(n, dtype=np.float64)
+    in0 = np.zeros(n, dtype=bool)
+
+    heap: list[tuple[float, int, int]] = []
+    counter = 0
+    seed_order = iter(rng.permutation(n))
+
+    def push(v: int) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (-gain[v], counter, v))
+        counter += 1
+
+    sizes = hg.net_sizes()
+    while True:
+        if not heap:
+            # (Re)seed: pick the next untaken vertex.
+            seed = next((s for s in seed_order if not in0[s]), None)
+            if seed is None:
+                break
+            gain[seed] = 0.0
+            push(seed)
+        g, _, v = heapq.heappop(heap)
+        if in0[v] or -g != gain[v]:
+            continue
+        w = hg.vweights[v]
+        if not _fits(pw0, w, t0):
+            continue
+        in0[v] = True
+        part[v] = 0
+        pw0 += w
+        if np.all(pw0 >= t0):
+            break
+        for e in hg.vertex_nets(v):
+            if sizes[e] < 2:
+                continue
+            bump = hg.ncosts[e] / (sizes[e] - 1)
+            for u in hg.net_pins(e):
+                if not in0[u]:
+                    gain[u] += bump
+                    push(u)
+    return part

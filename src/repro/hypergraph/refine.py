@@ -1,0 +1,213 @@
+"""Fiduccia–Mattheyses boundary refinement for bisections.
+
+Cut-net metric (each net of cost ``c`` contributes ``c`` when it has
+pins on both sides).  Under recursive bisection with cut-net splitting
+this metric sums to the K-way connectivity-1 cost, which is exactly the
+SpMV communication volume of the hypergraph models.
+
+Balance is multi-constraint: a move is admissible only if every
+constraint of the destination part stays within ``(1+ε)·target``, or if
+it strictly reduces the worst violation when the partition is already
+infeasible (needed right after projection in the V-cycle).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["fm_refine", "bisection_cut", "part_weights"]
+
+
+def part_weights(hg: Hypergraph, part: np.ndarray) -> np.ndarray:
+    """Per-part, per-constraint weights; shape ``(2, ncon)``."""
+    pw = np.zeros((2, hg.nconstraints), dtype=np.int64)
+    np.add.at(pw, part, hg.vweights)
+    return pw
+
+
+def bisection_cut(hg: Hypergraph, part: np.ndarray) -> int:
+    """Total cost of nets with pins on both sides."""
+    sizes = np.diff(hg.xpins)
+    net_of_pin = np.repeat(np.arange(hg.nnets), sizes)
+    side = part[hg.pins]
+    ones = np.zeros(hg.nnets, dtype=np.int64)
+    np.add.at(ones, net_of_pin, side)
+    cut_mask = (ones > 0) & (ones < sizes)
+    return int(hg.ncosts[cut_mask].sum())
+
+
+def _violation(pw: np.ndarray, limits: np.ndarray) -> float:
+    """Worst relative overrun of any (part, constraint) limit."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(limits > 0, pw / limits, np.where(pw > 0, np.inf, 1.0))
+    return float(rel.max())
+
+
+def fm_refine(
+    hg: Hypergraph,
+    part: np.ndarray,
+    targets: tuple[np.ndarray, np.ndarray],
+    epsilon: float,
+    max_passes: int = 4,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, int]:
+    """Refine a bisection in place-semantics (a refined copy is returned).
+
+    Returns ``(part, cut)`` with the final cut-net cost.
+    """
+    part = np.asarray(part, dtype=np.int8).copy()
+    n = hg.nvertices
+    if n == 0 or hg.nnets == 0:
+        return part, 0
+
+    xpins, pins = hg.xpins, hg.pins
+    xnets, nets = hg.xnets, hg.nets
+    ncosts = hg.ncosts
+    sizes = np.diff(xpins)
+
+    limits = np.stack(
+        [
+            np.asarray(targets[0], dtype=np.float64) * (1.0 + epsilon),
+            np.asarray(targets[1], dtype=np.float64) * (1.0 + epsilon),
+        ]
+    )
+
+    # pin counts per net per side
+    pc = np.zeros((hg.nnets, 2), dtype=np.int64)
+    net_of_pin = np.repeat(np.arange(hg.nnets), sizes)
+    np.add.at(pc, (net_of_pin, part[pins].astype(np.int64)), 1)
+    cut = int(ncosts[(pc[:, 0] > 0) & (pc[:, 1] > 0)].sum())
+    pw = part_weights(hg, part).astype(np.float64)
+
+    # Vertex-major pin traversal arrays (for vectorised gain setup).
+    vert_of_pin = np.repeat(np.arange(n, dtype=np.int64), np.diff(xnets))
+
+    def initial_gains() -> np.ndarray:
+        """gain[v] = Σ_{e∋v, v alone on its side} c_e − Σ_{e∋v, internal} c_e."""
+        g = np.zeros(n, dtype=np.int64)
+        pv = part[vert_of_pin].astype(np.int64)
+        ee = nets
+        valid = sizes[ee] >= 2
+        uncut_bonus = pc[ee, pv] == 1
+        cut_penalty = pc[ee, 1 - pv] == 0
+        np.add.at(g, vert_of_pin[valid & uncut_bonus], ncosts[ee[valid & uncut_bonus]])
+        np.subtract.at(g, vert_of_pin[valid & cut_penalty], ncosts[ee[valid & cut_penalty]])
+        return g
+
+    def boundary_vertices() -> np.ndarray:
+        """Vertices incident to a cut net (the only useful FM seeds)."""
+        cut_nets = (pc[:, 0] > 0) & (pc[:, 1] > 0)
+        if not np.any(cut_nets):
+            return np.empty(0, dtype=np.int64)
+        return np.unique(vert_of_pin[cut_nets[nets]])
+
+    for _ in range(max_passes):
+        gain = initial_gains()
+        locked = np.zeros(n, dtype=bool)
+        heap: list[tuple[int, int, int]] = []
+        counter = 0
+        seeds = boundary_vertices()
+        if seeds.size == 0:
+            seeds = np.arange(n)
+        for v in seeds:
+            heapq.heappush(heap, (-int(gain[v]), counter, int(v)))
+            counter += 1
+
+        moves: list[int] = []
+        gain_sums: list[int] = []
+        # Prefix score: feasibility dominates gain, so that a pass that
+        # starts from an infeasible projection keeps its repair moves
+        # even when they cut nets (all feasible states compare equal on
+        # the first component).
+        scores: list[tuple[float, int]] = []
+        running = 0
+        cur_violation = _violation(pw, limits)
+        initial_score = (max(cur_violation, 1.0), 0)
+
+        while heap:
+            negg, _, v = heapq.heappop(heap)
+            if locked[v] or -negg != gain[v]:
+                continue
+            a = int(part[v])
+            b = 1 - a
+            w = hg.vweights[v].astype(np.float64)
+            new_pw = pw.copy()
+            new_pw[a] -= w
+            new_pw[b] += w
+            new_violation = _violation(new_pw, limits)
+            if new_violation > 1.0 and new_violation >= cur_violation:
+                continue  # inadmissible: would (keep) violating balance
+            # Lock v *before* the neighbour updates: v is a pin of its
+            # own nets and its frozen gain is the move's cut delta.
+            locked[v] = True
+            move_gain = int(gain[v])
+            # ---- apply the move, with incremental gain updates ----
+            for e in nets[xnets[v] : xnets[v + 1]]:
+                if sizes[e] < 2:
+                    continue
+                c = int(ncosts[e])
+                epins = pins[xpins[e] : xpins[e + 1]]
+                if pc[e, b] == 0:
+                    for u in epins:
+                        if not locked[u]:
+                            gain[u] += c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+                elif pc[e, b] == 1:
+                    for u in epins:
+                        if part[u] == b and not locked[u]:
+                            gain[u] -= c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+                pc[e, a] -= 1
+                pc[e, b] += 1
+                if pc[e, a] == 0:
+                    for u in epins:
+                        if not locked[u]:
+                            gain[u] -= c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+                elif pc[e, a] == 1:
+                    for u in epins:
+                        if part[u] == a and u != v and not locked[u]:
+                            gain[u] += c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+            running += move_gain
+            part[v] = b
+            pw = new_pw
+            cur_violation = new_violation
+            moves.append(v)
+            gain_sums.append(running)
+            scores.append((max(cur_violation, 1.0), -running))
+
+        if not moves:
+            break
+        best_idx = min(range(len(scores)), key=lambda i: scores[i])
+        best_gain = gain_sums[best_idx]
+        if scores[best_idx] >= initial_score:
+            best_idx = -1  # no prefix improves: roll everything back
+            best_gain = 0
+        # Roll back moves after the best prefix.
+        for v in moves[best_idx + 1 :]:
+            b = int(part[v])
+            a = 1 - b
+            part[v] = a
+            w = hg.vweights[v].astype(np.float64)
+            pw[b] -= w
+            pw[a] += w
+            for e in nets[xnets[v] : xnets[v + 1]]:
+                if sizes[e] >= 2:
+                    pc[e, b] -= 1
+                    pc[e, a] += 1
+        if best_idx == -1:
+            break
+        cut -= best_gain  # negative best_gain = volume paid for balance
+        if best_gain <= 0 and scores[best_idx][0] <= 1.0:
+            break  # feasible and no volume improvement: converged
+
+    return part, cut

@@ -1,0 +1,27 @@
+"""2D fine-grain partitioning (the paper's ``2D`` baseline).
+
+The row-column-net model of Çatalyürek & Aykanat (2001): one hypergraph
+vertex per nonzero, one net per row and per column.  A K-way vertex
+partition is an unconstrained 2D nonzero distribution whose
+connectivity-1 cut equals the total expand+fold volume.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph import PartitionConfig, fine_grain_model, partition_kway
+from repro.partition.types import SpMVPartition, VectorPartition
+from repro.sparse.coo import canonical_coo
+
+__all__ = ["partition_2d_finegrain"]
+
+
+def partition_2d_finegrain(
+    a, nparts: int, config: PartitionConfig | None = None
+) -> SpMVPartition:
+    """Fine-grain 2D partition of ``a`` into ``nparts``."""
+    m = canonical_coo(a)
+    model = fine_grain_model(m)
+    part = partition_kway(model.hypergraph, nparts, config)
+    nnz_part, x_part, y_part = model.decode(part, nparts)
+    vectors = VectorPartition(x_part=x_part, y_part=y_part, nparts=nparts)
+    return SpMVPartition(matrix=m, nnz_part=nnz_part, vectors=vectors, kind="2D")

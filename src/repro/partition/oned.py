@@ -1,0 +1,84 @@
+"""1D (rowwise and columnwise) partitioning.
+
+The paper's ``1D`` baseline: the column-net hypergraph model of
+Çatalyürek & Aykanat (1999) partitioned by the multilevel recursive
+bisection engine, with the connectivity-1 cut equal to the expand
+volume.  Block and random row partitions are provided as cheap
+reference points and for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph import PartitionConfig, column_net_model, partition_kway, row_net_model
+from repro.partition.types import SpMVPartition, VectorPartition
+from repro.partition.vector import vector_partition_from_rows
+from repro.rng import as_generator
+from repro.sparse.coo import canonical_coo
+
+__all__ = [
+    "partition_1d_rowwise",
+    "partition_1d_columnwise",
+    "partition_1d_block_rows",
+    "partition_1d_random_rows",
+    "rowwise_from_y_part",
+]
+
+
+def rowwise_from_y_part(a, y_part: np.ndarray, nparts: int) -> SpMVPartition:
+    """The 1D rowwise partition induced by a given row ownership."""
+    m = canonical_coo(a)
+    vectors = vector_partition_from_rows(m, np.asarray(y_part, dtype=np.int64), nparts)
+    nnz_part = vectors.y_part[m.row]
+    return SpMVPartition(matrix=m, nnz_part=nnz_part, vectors=vectors, kind="1D")
+
+
+def partition_1d_rowwise(
+    a, nparts: int, config: PartitionConfig | None = None
+) -> SpMVPartition:
+    """Hypergraph-based 1D rowwise partition (the paper's ``1D``)."""
+    m = canonical_coo(a)
+    hg = column_net_model(m)
+    y_part = partition_kway(hg, nparts, config)
+    return rowwise_from_y_part(m, y_part, nparts)
+
+
+def partition_1d_columnwise(
+    a, nparts: int, config: PartitionConfig | None = None
+) -> SpMVPartition:
+    """Hypergraph-based 1D columnwise partition (row-net model)."""
+    m = canonical_coo(a)
+    hg = row_net_model(m)
+    x_part = partition_kway(hg, nparts, config)
+    mrows, ncols = m.shape
+    if mrows == ncols:
+        y_part = x_part.copy()
+    else:
+        # Rows follow the plurality of their nonzeros' x owners.
+        counts = np.zeros((mrows, nparts), dtype=np.int64)
+        np.add.at(counts, (m.row, x_part[m.col]), 1)
+        y_part = np.argmax(counts, axis=1).astype(np.int64)
+        empty = counts.sum(axis=1) == 0
+        y_part[empty] = np.flatnonzero(empty) % nparts
+    vectors = VectorPartition(x_part=x_part, y_part=y_part, nparts=nparts)
+    nnz_part = x_part[m.col]
+    return SpMVPartition(matrix=m, nnz_part=nnz_part, vectors=vectors, kind="1D-col")
+
+
+def partition_1d_block_rows(a, nparts: int) -> SpMVPartition:
+    """Contiguous equal-row blocks (no balance or volume optimisation)."""
+    m = canonical_coo(a)
+    nrows = m.shape[0]
+    y_part = np.minimum(
+        (np.arange(nrows, dtype=np.int64) * nparts) // max(nrows, 1), nparts - 1
+    )
+    return rowwise_from_y_part(m, y_part, nparts)
+
+
+def partition_1d_random_rows(a, nparts: int, seed=None) -> SpMVPartition:
+    """Uniformly random row assignment (worst-case-ish baseline)."""
+    m = canonical_coo(a)
+    rng = as_generator(seed)
+    y_part = rng.integers(0, nparts, size=m.shape[0], dtype=np.int64)
+    return rowwise_from_y_part(m, y_part, nparts)

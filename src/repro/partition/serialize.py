@@ -1,0 +1,78 @@
+"""Save / load partitions.
+
+Partitioning dominates experiment runtime (the multilevel partitioner is
+pure Python), so cached partitions are worth real money.  Format: a
+single ``.npz`` holding the canonical triplets, both vector partitions,
+the nonzero partition, and a small JSON header (kind, meta subset).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.partition.types import SpMVPartition, VectorPartition
+
+__all__ = ["save_partition", "load_partition"]
+
+_FORMAT_VERSION = 1
+
+
+def save_partition(p: SpMVPartition, path) -> None:
+    """Write ``p`` to ``path`` (.npz).  Only JSON-safe meta entries are
+    kept (mesh shapes, method tags); arrays in meta are dropped."""
+    meta: dict = {}
+    for key, value in p.meta.items():
+        if isinstance(value, (str, int, float, bool)):
+            meta[key] = value
+        elif isinstance(value, tuple) and all(isinstance(v, int) for v in value):
+            meta[key] = list(value)
+    header = {
+        "version": _FORMAT_VERSION,
+        "kind": p.kind,
+        "nparts": p.nparts,
+        "shape": list(p.matrix.shape),
+        "meta": meta,
+    }
+    np.savez_compressed(
+        os.fspath(path),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        row=p.matrix.row,
+        col=p.matrix.col,
+        data=p.matrix.data,
+        nnz_part=p.nnz_part,
+        x_part=p.vectors.x_part,
+        y_part=p.vectors.y_part,
+    )
+
+
+def load_partition(path) -> SpMVPartition:
+    """Read a partition written by :func:`save_partition`."""
+    with np.load(os.fspath(path)) as z:
+        try:
+            header = json.loads(bytes(z["header"].tobytes()).decode())
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise ReproError(f"not a partition file: {path}") from exc
+        if header.get("version") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported partition format version {header.get('version')}"
+            )
+        shape = tuple(header["shape"])
+        matrix = sp.coo_matrix((z["data"], (z["row"], z["col"])), shape=shape)
+        meta = {
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in header.get("meta", {}).items()
+        }
+        return SpMVPartition(
+            matrix=matrix,
+            nnz_part=z["nnz_part"],
+            vectors=VectorPartition(
+                x_part=z["x_part"], y_part=z["y_part"], nparts=header["nparts"]
+            ),
+            kind=header["kind"],
+            meta=meta,
+        )

@@ -1,0 +1,149 @@
+"""Partition dataclasses shared by every scheme.
+
+A complete SpMV data distribution is (i) a vector partition — who owns
+each ``x_j`` and each ``y_i`` — and (ii) a nonzero partition aligned
+with the canonical COO triplets of the matrix.  The s2D *admissibility*
+predicate of the paper's Problem 1 (``π(a_ij) ∈ {π(y_i), π(x_j)}``) is
+a method here so every scheme can be audited uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import PartitionError
+from repro.sparse.blocks import BlockStructure
+from repro.sparse.coo import canonical_coo
+
+__all__ = ["VectorPartition", "SpMVPartition"]
+
+
+@dataclass(frozen=True)
+class VectorPartition:
+    """K-way ownership of the input vector ``x`` and output vector ``y``."""
+
+    x_part: np.ndarray
+    y_part: np.ndarray
+    nparts: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x_part", np.asarray(self.x_part, dtype=np.int64))
+        object.__setattr__(self, "y_part", np.asarray(self.y_part, dtype=np.int64))
+        for name, arr in (("x_part", self.x_part), ("y_part", self.y_part)):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.nparts):
+                raise PartitionError(f"{name} has part ids outside [0, {self.nparts})")
+
+    @property
+    def n(self) -> int:
+        """Input-vector length."""
+        return int(self.x_part.size)
+
+    @property
+    def m(self) -> int:
+        """Output-vector length."""
+        return int(self.y_part.size)
+
+    def is_symmetric(self) -> bool:
+        """True when x and y are partitioned identically (square case)."""
+        return self.x_part.size == self.y_part.size and bool(
+            np.array_equal(self.x_part, self.y_part)
+        )
+
+
+@dataclass
+class SpMVPartition:
+    """A full SpMV data distribution: matrix nonzeros + both vectors.
+
+    ``nnz_part[t]`` is the owner of the t-th canonical COO nonzero of
+    ``matrix``.  ``kind`` is a human-readable scheme tag ("1D", "2D",
+    "s2D", "2D-b", "1D-b", "s2D-mg", ...), carried through to reports.
+    """
+
+    matrix: sp.coo_matrix
+    nnz_part: np.ndarray
+    vectors: VectorPartition
+    kind: str = "custom"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.matrix = canonical_coo(self.matrix)
+        self.nnz_part = np.asarray(self.nnz_part, dtype=np.int64)
+        if self.nnz_part.size != self.matrix.nnz:
+            raise PartitionError(
+                f"nnz_part has {self.nnz_part.size} entries for a matrix with "
+                f"{self.matrix.nnz} nonzeros"
+            )
+        k = self.vectors.nparts
+        if self.nnz_part.size and (self.nnz_part.min() < 0 or self.nnz_part.max() >= k):
+            raise PartitionError(f"nnz_part has part ids outside [0, {k})")
+        m, n = self.matrix.shape
+        if self.vectors.m != m or self.vectors.n != n:
+            raise PartitionError(
+                f"vector partition sized ({self.vectors.m}, {self.vectors.n}) does "
+                f"not match matrix shape ({m}, {n})"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nparts(self) -> int:
+        return self.vectors.nparts
+
+    def block_structure(self) -> BlockStructure:
+        """The K×K block view under this partition's vectors."""
+        return BlockStructure(
+            self.matrix.row,
+            self.matrix.col,
+            self.vectors.x_part,
+            self.vectors.y_part,
+            self.nparts,
+        )
+
+    def loads(self) -> np.ndarray:
+        """Per-processor computational load = number of owned nonzeros
+        (eq. 7 of the paper)."""
+        w = np.zeros(self.nparts, dtype=np.int64)
+        np.add.at(w, self.nnz_part, 1)
+        return w
+
+    def load_imbalance(self) -> float:
+        """``max_k W_k / W_avg − 1`` (the paper's LI, before the ×100%)."""
+        w = self.loads().astype(np.float64)
+        avg = w.sum() / self.nparts
+        return float(w.max() / avg - 1.0) if avg > 0 else 0.0
+
+    # ------------------------------------------------------------------
+
+    def is_s2d_admissible(self) -> bool:
+        """Problem 1 predicate: every nonzero lives with its x or y owner."""
+        row_owner = self.vectors.y_part[self.matrix.row]
+        col_owner = self.vectors.x_part[self.matrix.col]
+        return bool(
+            np.all((self.nnz_part == row_owner) | (self.nnz_part == col_owner))
+        )
+
+    def validate_s2d(self) -> None:
+        """Raise :class:`PartitionError` if not s2D-admissible."""
+        if not self.is_s2d_admissible():
+            row_owner = self.vectors.y_part[self.matrix.row]
+            col_owner = self.vectors.x_part[self.matrix.col]
+            bad = np.flatnonzero(
+                (self.nnz_part != row_owner) & (self.nnz_part != col_owner)
+            )
+            t = int(bad[0])
+            raise PartitionError(
+                f"nonzero ({self.matrix.row[t]}, {self.matrix.col[t]}) assigned to "
+                f"P{self.nnz_part[t]}, but y-owner is P{row_owner[t]} and x-owner "
+                f"is P{col_owner[t]} ({bad.size} violations total)"
+            )
+
+    def is_1d_rowwise(self) -> bool:
+        """True when every nonzero lives with its y owner."""
+        return bool(np.all(self.nnz_part == self.vectors.y_part[self.matrix.row]))
+
+    def is_1d_columnwise(self) -> bool:
+        """True when every nonzero lives with its x owner."""
+        return bool(np.all(self.nnz_part == self.vectors.x_part[self.matrix.col]))

@@ -1,0 +1,39 @@
+"""Deterministic random-number handling.
+
+Every stochastic component of the library (hypergraph coarsening tie
+breaks, initial partition growing, workload generators) accepts a
+``seed`` argument that is normalized through :func:`as_generator`, so a
+whole experiment is reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20150525  # date of the PCO 2015 workshop
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` maps to the library default seed (not to OS entropy): this
+    library is a reproduction harness, so "unseeded" still means
+    deterministic.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used by recursive bisection so that the partition of one subproblem
+    does not perturb the random stream of its sibling.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,172 @@
+"""Mesh-routed execution of s2D-b (Section VI-B).
+
+Same numerics as the single-phase executor, but the fused ``[x̂, ŷ]``
+exchange travels in two hops over a ``Pr × Pc`` virtual mesh: a row
+phase to the intermediate ``(r_src, c_dst)`` and a column phase to the
+destination.  Intermediates *combine*: x entries bound for several
+processors in one mesh column cross the row phase once, and partial
+results for the same ``y_i`` arriving from different senders in a mesh
+row are summed before being forwarded (those adds are charged as
+flops of the in-between combine step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.partition.checkerboard import mesh_shape
+from repro.partition.types import SpMVPartition
+from repro.simulate.machine import PhaseCost, SpMVRun
+from repro.simulate.messages import Ledger
+
+__all__ = ["run_s2d_bounded"]
+
+
+def run_s2d_bounded(
+    p: SpMVPartition,
+    x: np.ndarray | None = None,
+    shape: tuple[int, int] | None = None,
+) -> SpMVRun:
+    """Execute the two-hop routed single-phase SpMV under ``p``."""
+    p.validate_s2d()
+    m = p.matrix
+    nrows, ncols = m.shape
+    k = p.nparts
+    pr, pc = shape if shape is not None else p.meta.get("mesh", mesh_shape(k))
+    if pr * pc != k:
+        raise ConfigError(f"mesh {pr}x{pc} does not cover {k} processors")
+    if x is None:
+        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
+    x = np.asarray(x, dtype=np.float64)
+
+    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    rp = p.vectors.y_part[rows]
+    cp = p.vectors.x_part[cols]
+    owner = p.nnz_part
+    pre_mask = (owner == cp) & (rp != cp)
+    main_mask = owner == rp
+
+    ledger = Ledger(k)
+
+    # ---------------- Precompute --------------------------------------
+    flops_pre = np.zeros(k, dtype=np.int64)
+    np.add.at(flops_pre, owner[pre_mask], 2)
+    pkey = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
+    pkeys, inv = np.unique(pkey, return_inverse=True)
+    psums = np.zeros(pkeys.size, dtype=np.float64)
+    np.add.at(psums, inv, vals[pre_mask] * x[cols[pre_mask]])
+    y_src = (pkeys // nrows).astype(np.int64)
+    y_i = (pkeys % nrows).astype(np.int64)
+    y_dst = p.vectors.y_part[y_i]
+
+    # x needs of the compute phase.
+    need_mask = main_mask & (cp != rp)
+    nk = (cp[need_mask].astype(np.int64) * k + rp[need_mask]) * ncols + cols[need_mask]
+    nkeys = np.unique(nk)
+    x_src = ((nkeys // ncols) // k).astype(np.int64)
+    x_dst = ((nkeys // ncols) % k).astype(np.int64)
+    x_j = (nkeys % ncols).astype(np.int64)
+
+    def intermediate(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return (src // pc) * pc + (dst % pc)
+
+    x_t = intermediate(x_src, x_dst)
+    y_t = intermediate(y_src, y_dst)
+
+    # ---------------- Row phase (hop 1, with combining) ----------------
+    # x: unique (src, t, j) — one copy toward each mesh column.
+    x1 = np.unique((x_src * k + x_t) * ncols + x_j)
+    x1 = x1[(x1 // ncols) // k != (x1 // ncols) % k]  # drop src == t
+    # y: unique (src, t, i); value is the producer's partial.
+    hop1_y = y_t != y_src
+    pair1: dict[tuple[int, int], int] = {}
+    for key in x1:
+        s, t = int((key // ncols) // k), int((key // ncols) % k)
+        pair1[(s, t)] = pair1.get((s, t), 0) + 1
+    for s, t in zip(y_src[hop1_y], y_t[hop1_y]):
+        pair1[(int(s), int(t))] = pair1.get((int(s), int(t)), 0) + 1
+    for (s, t), words in sorted(pair1.items()):
+        ledger.record("route-row", s, t, words)
+
+    # State after hop 1: x values and partials present at intermediates.
+    # (items whose hop-1 was a no-op are already "at" the source.)
+
+    # ---------------- Combine at intermediates -------------------------
+    # Partials for the same (t, i) merge; each merge beyond the first is
+    # one add at t.
+    ckey = y_t * nrows + y_i
+    ckeys, cinv = np.unique(ckey, return_inverse=True)
+    csums = np.zeros(ckeys.size, dtype=np.float64)
+    np.add.at(csums, cinv, psums)
+    flops_combine = np.zeros(k, dtype=np.int64)
+    dup_counts = np.bincount(cinv, minlength=ckeys.size)
+    np.add.at(flops_combine, ckeys // nrows, dup_counts - 1)
+    c_t = (ckeys // nrows).astype(np.int64)
+    c_i = (ckeys % nrows).astype(np.int64)
+    c_dst = p.vectors.y_part[c_i]
+
+    # ---------------- Column phase (hop 2) -----------------------------
+    hop2_x = x_t != x_dst
+    x2keys = np.unique((x_t[hop2_x] * k + x_dst[hop2_x]) * ncols + x_j[hop2_x])
+    hop2_y = c_t != c_dst
+    pair2: dict[tuple[int, int], int] = {}
+    for key in x2keys:
+        t, d = int((key // ncols) // k), int((key // ncols) % k)
+        pair2[(t, d)] = pair2.get((t, d), 0) + 1
+    for t, d in zip(c_t[hop2_y], c_dst[hop2_y]):
+        pair2[(int(t), int(d))] = pair2.get((int(t), int(d)), 0) + 1
+    for (t, d), words in sorted(pair2.items()):
+        ledger.record("route-col", t, d, words)
+
+    # Sanity: every hop stays within one mesh row / one mesh column.
+    for (s, t) in pair1:
+        if s // pc != t // pc:
+            raise SimulationError(f"row-phase message {s}->{t} leaves mesh row")
+    for (t, d) in pair2:
+        if t % pc != d % pc:
+            raise SimulationError(f"column-phase message {t}->{d} leaves mesh column")
+
+    # ---------------- Compute ------------------------------------------
+    flops_main = np.zeros(k, dtype=np.int64)
+    np.add.at(flops_main, owner[main_mask], 2)
+    # x availability at destinations: routed items x_dst received x_j.
+    recv_x = {(int(d), int(j)): x[j] for d, j in zip(x_dst, x_j)}
+    xs = np.empty(int(np.count_nonzero(main_mask)), dtype=np.float64)
+    mrows = rows[main_mask]
+    mcols = cols[main_mask]
+    mvals = vals[main_mask]
+    mown = owner[main_mask]
+    local = cp[main_mask] == mown
+    xs[local] = x[mcols[local]]
+    for tt in np.flatnonzero(~local):
+        key = (int(mown[tt]), int(mcols[tt]))
+        if key not in recv_x:
+            raise SimulationError(
+                f"P{mown[tt]} multiplied with x[{mcols[tt]}] it neither owns nor received"
+            )
+        xs[tt] = recv_x[key]
+    y = np.zeros(nrows, dtype=np.float64)
+    np.add.at(y, mrows, mvals * xs)
+    # Fold in the (combined) partials at their owners.
+    np.add.at(y, c_i, csums)
+    np.add.at(flops_main, c_dst, 1)
+
+    ref = m @ x
+    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+        raise SimulationError("s2D-b SpMV result differs from serial A @ x")
+
+    return SpMVRun(
+        y=y,
+        ledger=ledger,
+        phases=[
+            PhaseCost("precompute", flops=flops_pre),
+            PhaseCost("route-row", comm_phase="route-row"),
+            PhaseCost("combine", flops=flops_combine),
+            PhaseCost("route-col", comm_phase="route-col"),
+            PhaseCost("compute", flops=flops_main),
+        ],
+        nnz=int(m.nnz),
+        kind=p.kind or "s2D-b",
+        meta={"mesh": (pr, pc)},
+    )

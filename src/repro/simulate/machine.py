@@ -1,0 +1,139 @@
+"""BSP-style machine cost model and the simulated-run container.
+
+A run is a sequence of supersteps; superstep time is
+
+    γ · max_p flops_p  +  β · max_p max(sent_p, recv_p) words
+                        +  α · max_p max(#sent_p, #recv_p)
+
+and the run time is the sum over supersteps (communication phases pay
+their α/β term, computation phases their γ term; fused phases pay
+both).  Speedup is measured against the serial 2·nnz-flop SpMV on the
+same model — the same normalization the paper uses for its ``Sp``
+columns.
+
+Default parameters are calibrated to an interconnect-dominated system
+like the paper's Cray XE6 Gemini torus: a message costs about three
+orders of magnitude more than a flop, a word about three flops.  The
+trends of the tables (who wins, where latency starts to dominate) are
+governed by these ratios, not their absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulate.messages import Ledger
+
+__all__ = ["MachineModel", "PhaseCost", "SpMVRun"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """α (per message), β (per word), γ (per flop) cost coefficients."""
+
+    alpha: float = 1000.0
+    beta: float = 3.0
+    gamma: float = 1.0
+
+    def phase_time(
+        self,
+        flops: np.ndarray | None,
+        ledger: Ledger | None = None,
+        phase: str | None = None,
+    ) -> float:
+        """Cost of one superstep."""
+        t = 0.0
+        if flops is not None and len(flops):
+            t += self.gamma * float(np.max(flops))
+        if ledger is not None and phase is not None:
+            words = max(
+                float(ledger.sent_volume(phase).max(initial=0)),
+                float(ledger.recv_volume(phase).max(initial=0)),
+            )
+            msgs = max(
+                float(ledger.sent_msgs(phase).max(initial=0)),
+                float(ledger.recv_msgs(phase).max(initial=0)),
+            )
+            t += self.beta * words + self.alpha * msgs
+        return t
+
+    def serial_time(self, nnz: int) -> float:
+        """Serial SpMV: one multiply + one add per nonzero."""
+        return self.gamma * 2.0 * float(nnz)
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """One superstep of a run: optional compute plus optional comm."""
+
+    name: str
+    flops: np.ndarray | None = None
+    comm_phase: str | None = None
+
+
+@dataclass
+class SpMVRun:
+    """Everything a simulated parallel SpMV produced.
+
+    ``y`` is the assembled output vector (already verified against the
+    serial product by the executor); ``phases`` defines the superstep
+    schedule the machine model prices.
+    """
+
+    y: np.ndarray
+    ledger: Ledger
+    phases: list[PhaseCost]
+    nnz: int
+    kind: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def time(self, machine: MachineModel) -> float:
+        """Total simulated run time."""
+        return sum(
+            machine.phase_time(ph.flops, self.ledger if ph.comm_phase else None, ph.comm_phase)
+            for ph in self.phases
+        )
+
+    def speedup(self, machine: MachineModel) -> float:
+        """Speedup vs. the serial SpMV under the same model."""
+        t = self.time(machine)
+        return machine.serial_time(self.nnz) / t if t > 0 else float("inf")
+
+    def breakdown(self, machine: MachineModel) -> list[dict]:
+        """Per-superstep cost decomposition (compute / words / messages).
+
+        Useful for diagnosing *why* a partition is slow: the paper's
+        latency-dominated instances show the α term eating the budget
+        at large K.
+        """
+        out = []
+        for ph in self.phases:
+            entry = {"name": ph.name, "compute": 0.0, "bandwidth": 0.0, "latency": 0.0}
+            if ph.flops is not None and len(ph.flops):
+                entry["compute"] = machine.gamma * float(np.max(ph.flops))
+            if ph.comm_phase is not None:
+                words = max(
+                    float(self.ledger.sent_volume(ph.comm_phase).max(initial=0)),
+                    float(self.ledger.recv_volume(ph.comm_phase).max(initial=0)),
+                )
+                msgs = max(
+                    float(self.ledger.sent_msgs(ph.comm_phase).max(initial=0)),
+                    float(self.ledger.recv_msgs(ph.comm_phase).max(initial=0)),
+                )
+                entry["bandwidth"] = machine.beta * words
+                entry["latency"] = machine.alpha * msgs
+            entry["total"] = entry["compute"] + entry["bandwidth"] + entry["latency"]
+            out.append(entry)
+        return out
+
+    def total_flops(self) -> np.ndarray:
+        """Per-processor flops summed over compute phases."""
+        out = None
+        for ph in self.phases:
+            if ph.flops is not None:
+                out = ph.flops.copy() if out is None else out + ph.flops
+        if out is None:
+            raise ValueError("run has no compute phases")
+        return out

@@ -1,0 +1,111 @@
+"""Message ledger: every send of the simulated SpMV, by phase.
+
+The ledger is the simulator's ground truth for the quantities the
+paper's tables report (total volume, per-processor message counts).
+The analytic formulas in :mod:`repro.core.volume` are tested against
+these observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Ledger"]
+
+
+class Ledger:
+    """Per-phase record of ``(src, dst) → words`` sends."""
+
+    def __init__(self, nparts: int):
+        if nparts <= 0:
+            raise SimulationError("nparts must be positive")
+        self.nparts = int(nparts)
+        self._phases: dict[str, dict[tuple[int, int], int]] = {}
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def record(self, phase: str, src: int, dst: int, words: int) -> None:
+        """Record one message.  Zero-word sends are rejected: the
+        executors must not emit empty messages (the paper's message
+        counts assume none)."""
+        if words <= 0:
+            raise SimulationError(f"empty message {src}->{dst} in phase {phase!r}")
+        if src == dst:
+            raise SimulationError(f"self-message at P{src} in phase {phase!r}")
+        if not (0 <= src < self.nparts and 0 <= dst < self.nparts):
+            raise SimulationError(f"message {src}->{dst} outside 0..{self.nparts - 1}")
+        if phase not in self._phases:
+            self._phases[phase] = {}
+            self._order.append(phase)
+        book = self._phases[phase]
+        if (src, dst) in book:
+            raise SimulationError(
+                f"duplicate message {src}->{dst} in phase {phase!r}; "
+                "executors must aggregate into one packet per pair per phase"
+            )
+        book[(src, dst)] = int(words)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def phase_names(self) -> list[str]:
+        return list(self._order)
+
+    def _arrays(self, phase: str) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        sent_v = np.zeros(self.nparts, dtype=np.int64)
+        recv_v = np.zeros(self.nparts, dtype=np.int64)
+        sent_m = np.zeros(self.nparts, dtype=np.int64)
+        recv_m = np.zeros(self.nparts, dtype=np.int64)
+        for (src, dst), words in self._phases.get(phase, {}).items():
+            sent_v[src] += words
+            recv_v[dst] += words
+            sent_m[src] += 1
+            recv_m[dst] += 1
+        return sent_v, recv_v, sent_m, recv_m
+
+    def sent_volume(self, phase: str | None = None) -> np.ndarray:
+        """Words sent per processor (one phase, or all phases summed)."""
+        if phase is not None:
+            return self._arrays(phase)[0]
+        total = np.zeros(self.nparts, dtype=np.int64)
+        for name in self._order:
+            total += self._arrays(name)[0]
+        return total
+
+    def recv_volume(self, phase: str | None = None) -> np.ndarray:
+        if phase is not None:
+            return self._arrays(phase)[1]
+        total = np.zeros(self.nparts, dtype=np.int64)
+        for name in self._order:
+            total += self._arrays(name)[1]
+        return total
+
+    def sent_msgs(self, phase: str | None = None) -> np.ndarray:
+        if phase is not None:
+            return self._arrays(phase)[2]
+        total = np.zeros(self.nparts, dtype=np.int64)
+        for name in self._order:
+            total += self._arrays(name)[2]
+        return total
+
+    def recv_msgs(self, phase: str | None = None) -> np.ndarray:
+        if phase is not None:
+            return self._arrays(phase)[3]
+        total = np.zeros(self.nparts, dtype=np.int64)
+        for name in self._order:
+            total += self._arrays(name)[3]
+        return total
+
+    def total_volume(self) -> int:
+        """All words sent over all phases."""
+        return int(self.sent_volume().sum())
+
+    def total_msgs(self) -> int:
+        return int(self.sent_msgs().sum())
+
+    def pair_volume(self, phase: str, src: int, dst: int) -> int:
+        """Words of one specific message (0 if absent)."""
+        return int(self._phases.get(phase, {}).get((src, dst), 0))

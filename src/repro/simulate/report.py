@@ -1,0 +1,96 @@
+"""One-call evaluation of a partition: the numbers the paper tabulates.
+
+:func:`evaluate` picks the right executor for the partition kind, runs
+the simulated SpMV, and summarises load imbalance (LI%), total volume,
+average/maximum messages per processor, and the model speedup — the
+exact column set of Tables II through VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.partition.types import SpMVPartition
+from repro.simulate.bounded import run_s2d_bounded
+from repro.simulate.machine import MachineModel, SpMVRun
+from repro.simulate.singlephase import run_single_phase
+from repro.simulate.twophase import run_two_phase
+
+__all__ = ["PartitionQuality", "evaluate", "EXECUTORS"]
+
+# Partition kind → executor choice.  The single-phase executor covers
+# everything s2D-admissible (the paper's point: 1D is a special case);
+# the two-phase executor covers the unconstrained 2D family.
+EXECUTORS = {
+    "1D": "single",
+    "1D-col": "single",
+    "s2D": "single",
+    "s2D-mg": "single",
+    "2D": "two",
+    "2D-orb": "two",
+    "2D-b": "two",
+    "1D-b": "two",
+    "s2D-b": "routed",
+}
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Table-row summary of one partitioning instance."""
+
+    kind: str
+    nparts: int
+    load_imbalance: float
+    total_volume: int
+    avg_msgs: float
+    max_msgs: int
+    speedup: float
+    time: float
+    run: SpMVRun = field(repr=False, compare=False)
+
+    @property
+    def li_percent(self) -> float:
+        """LI% as printed in the paper (x* rows mean 100x%)."""
+        return 100.0 * self.load_imbalance
+
+    def format_li(self) -> str:
+        """Paper-style LI rendering: '12.9%' or '1.2*' (= 120%)."""
+        if self.load_imbalance >= 1.0:
+            return f"{self.load_imbalance:.1f}*"
+        return f"{self.li_percent:.1f}%"
+
+
+def evaluate(
+    p: SpMVPartition,
+    x: np.ndarray | None = None,
+    machine: MachineModel | None = None,
+) -> PartitionQuality:
+    """Run the right SpMV executor on ``p`` and summarise its quality."""
+    machine = machine or MachineModel()
+    mode = EXECUTORS.get(p.kind)
+    if mode is None:
+        mode = "single" if p.is_s2d_admissible() else "two"
+    if mode == "single":
+        run = run_single_phase(p, x)
+    elif mode == "routed":
+        run = run_s2d_bounded(p, x)
+    elif mode == "two":
+        run = run_two_phase(p, x)
+    else:  # pragma: no cover - defensive
+        raise SimulationError(f"unknown executor mode {mode!r}")
+
+    sent = run.ledger.sent_msgs()
+    return PartitionQuality(
+        kind=p.kind,
+        nparts=p.nparts,
+        load_imbalance=p.load_imbalance(),
+        total_volume=run.ledger.total_volume(),
+        avg_msgs=float(sent.mean()),
+        max_msgs=int(sent.max(initial=0)),
+        speedup=run.speedup(machine),
+        time=run.time(machine),
+        run=run,
+    )

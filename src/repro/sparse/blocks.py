@@ -1,0 +1,191 @@
+"""Block structure induced on a matrix by input/output vector partitions.
+
+Given a K-way partition of the input vector ``x`` (one part id per
+column) and of the output vector ``y`` (one part id per row), the
+nonzeros of ``A`` fall into a K×K logical block structure
+
+    A_{ℓk} = { a_ij : y_i ∈ y^{(ℓ)}, x_j ∈ x^{(k)} }
+
+(Section III of the paper).  Everything the s2D machinery needs —
+which off-diagonal blocks are nonempty, the number of nonempty rows
+``m̂`` and columns ``n̂`` of each block, the nonzero membership of each
+block — is computed here once, vectorised, and reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.sparse.coo import coo_triplets
+
+__all__ = ["BlockStructure"]
+
+
+@dataclass
+class BlockStructure:
+    """The K×K block view of a sparse matrix under a vector partition.
+
+    Parameters
+    ----------
+    rows, cols:
+        Canonical COO triplet coordinates of the matrix (values are not
+        needed for structural analysis).
+    x_part:
+        ``x_part[j]`` is the processor owning input entry ``x_j``
+        (length ``n``).
+    y_part:
+        ``y_part[i]`` is the processor owning output entry ``y_i``
+        (length ``m``).
+    nparts:
+        The number of processors K.
+
+    Attributes
+    ----------
+    row_part_of_nnz, col_part_of_nnz:
+        Per-nonzero owner of the row side (``π(y_i)``) and the column
+        side (``π(x_j)``).
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    x_part: np.ndarray
+    y_part: np.ndarray
+    nparts: int
+    row_part_of_nnz: np.ndarray = field(init=False)
+    col_part_of_nnz: np.ndarray = field(init=False)
+    _order: np.ndarray = field(init=False, repr=False)
+    _block_ids_sorted: np.ndarray = field(init=False, repr=False)
+    _block_starts: dict = field(init=False, repr=False)
+
+    @classmethod
+    def from_matrix(cls, a, x_part, y_part, nparts: int) -> "BlockStructure":
+        """Build the block structure of matrix ``a`` (any scipy-sparse-able)."""
+        rows, cols, _ = coo_triplets(a)
+        return cls(rows, cols, np.asarray(x_part), np.asarray(y_part), nparts)
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.x_part = np.asarray(self.x_part, dtype=np.int64)
+        self.y_part = np.asarray(self.y_part, dtype=np.int64)
+        k = self.nparts
+        if k <= 0:
+            raise PartitionError(f"nparts must be positive, got {k}")
+        for name, arr in (("x_part", self.x_part), ("y_part", self.y_part)):
+            if arr.size and (arr.min() < 0 or arr.max() >= k):
+                raise PartitionError(f"{name} contains part ids outside [0, {k})")
+        if self.rows.size:
+            if self.rows.max() >= self.y_part.size:
+                raise PartitionError("row index exceeds y_part length")
+            if self.cols.max() >= self.x_part.size:
+                raise PartitionError("col index exceeds x_part length")
+        self.row_part_of_nnz = self.y_part[self.rows]
+        self.col_part_of_nnz = self.x_part[self.cols]
+        block_ids = self.row_part_of_nnz * k + self.col_part_of_nnz
+        self._order = np.argsort(block_ids, kind="stable")
+        self._block_ids_sorted = block_ids[self._order]
+        uniq, starts = np.unique(self._block_ids_sorted, return_index=True)
+        ends = np.append(starts[1:], self._block_ids_sorted.size)
+        self._block_starts = {
+            int(b): (int(s), int(e)) for b, s, e in zip(uniq, starts, ends)
+        }
+
+    # ------------------------------------------------------------------
+    # Block membership
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Total number of nonzeros."""
+        return int(self.rows.size)
+
+    def block_nnz_indices(self, row_block: int, col_block: int) -> np.ndarray:
+        """Indices (into the canonical triplet arrays) of nonzeros in block
+        ``A_{row_block, col_block}``.  Empty array if the block is empty."""
+        key = row_block * self.nparts + col_block
+        span = self._block_starts.get(key)
+        if span is None:
+            return np.empty(0, dtype=np.int64)
+        s, e = span
+        return self._order[s:e]
+
+    def nonempty_offdiagonal_blocks(self) -> list[tuple[int, int]]:
+        """All ``(ℓ, k)`` with ``ℓ != k`` and ``A_{ℓk}`` nonempty.
+
+        These are exactly the processor pairs that exchange a message in
+        the single-phase s2D SpMV (and in 1D rowwise SpMV with the same
+        vector partition) — first observation of Section III.
+        """
+        k = self.nparts
+        out = []
+        for key in self._block_starts:
+            ell, kk = divmod(key, k)
+            if ell != kk:
+                out.append((ell, kk))
+        return out
+
+    def block_nnz_count(self, row_block: int, col_block: int) -> int:
+        """Number of nonzeros of block ``A_{row_block, col_block}``."""
+        return int(self.block_nnz_indices(row_block, col_block).size)
+
+    # ------------------------------------------------------------------
+    # n̂ / m̂ statistics (eq. 3 ingredients)
+    # ------------------------------------------------------------------
+
+    def block_nonempty_cols(self, row_block: int, col_block: int) -> np.ndarray:
+        """Distinct column indices with a nonzero in the block (``n̂`` set)."""
+        idx = self.block_nnz_indices(row_block, col_block)
+        return np.unique(self.cols[idx])
+
+    def block_nonempty_rows(self, row_block: int, col_block: int) -> np.ndarray:
+        """Distinct row indices with a nonzero in the block (``m̂`` set)."""
+        idx = self.block_nnz_indices(row_block, col_block)
+        return np.unique(self.rows[idx])
+
+    def nhat(self, row_block: int, col_block: int) -> int:
+        """``n̂(A_{ℓk})``: number of nonempty columns of the block."""
+        return int(self.block_nonempty_cols(row_block, col_block).size)
+
+    def mhat(self, row_block: int, col_block: int) -> int:
+        """``m̂(A_{ℓk})``: number of nonempty rows of the block."""
+        return int(self.block_nonempty_rows(row_block, col_block).size)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def rowwise_volume(self) -> int:
+        """Total communication volume of the pure 1D rowwise partition.
+
+        With every off-diagonal block kept on its row side (alternative
+        A1 for all blocks), processor ``P_k`` sends ``x_j`` to ``P_ℓ``
+        for every nonempty column of ``A_{ℓk}``; the total volume is
+        ``Σ_{ℓ≠k} n̂(A_{ℓk})``.
+        """
+        total = 0
+        for ell, kk in self.nonempty_offdiagonal_blocks():
+            total += self.nhat(ell, kk)
+        return total
+
+    def diagonal_loads(self) -> np.ndarray:
+        """Per-processor nonzero counts of the diagonal blocks ``A_kk``."""
+        loads = np.zeros(self.nparts, dtype=np.int64)
+        mask = self.row_part_of_nnz == self.col_part_of_nnz
+        np.add.at(loads, self.row_part_of_nnz[mask], 1)
+        return loads
+
+    def rowwise_loads(self) -> np.ndarray:
+        """Per-processor nonzero counts under pure 1D rowwise assignment
+        (every nonzero to its row owner): ``W_k = |A_{k*}|``."""
+        loads = np.zeros(self.nparts, dtype=np.int64)
+        np.add.at(loads, self.row_part_of_nnz, 1)
+        return loads
+
+    def columnwise_loads(self) -> np.ndarray:
+        """Per-processor nonzero counts under pure 1D columnwise assignment."""
+        loads = np.zeros(self.nparts, dtype=np.int64)
+        np.add.at(loads, self.col_part_of_nnz, 1)
+        return loads

@@ -1,0 +1,54 @@
+"""Canonical COO triplet handling.
+
+All partitioning code in this library operates on *triplet arrays*
+``(rows, cols, vals)`` in a canonical order (row-major, deduplicated,
+no explicit zeros).  Keeping one canonical form means a nonzero's index
+in the triplet arrays is a stable identity, which lets nonzero
+partitions be plain integer arrays aligned with the triplets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["canonical_coo", "coo_triplets", "empty_like_shape", "nnz_per_row", "nnz_per_col"]
+
+
+def canonical_coo(a) -> sp.coo_matrix:
+    """Return ``a`` as a canonical :class:`scipy.sparse.coo_matrix`.
+
+    Canonical means: duplicate entries summed, explicit zeros dropped,
+    and triplets sorted row-major (row, then column).  The result is a
+    new matrix; the input is never modified.
+    """
+    m = sp.coo_matrix(a)
+    m.sum_duplicates()  # also sorts row-major
+    m.eliminate_zeros()
+    # eliminate_zeros may leave order intact, but be defensive: re-sort.
+    order = np.lexsort((m.col, m.row))
+    return sp.coo_matrix((m.data[order], (m.row[order], m.col[order])), shape=m.shape)
+
+
+def coo_triplets(a) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return canonical ``(rows, cols, vals)`` triplet arrays for ``a``."""
+    m = canonical_coo(a)
+    return m.row.astype(np.int64), m.col.astype(np.int64), m.data
+
+
+def empty_like_shape(a) -> sp.coo_matrix:
+    """An all-zero COO matrix with the same shape and dtype as ``a``."""
+    m = sp.coo_matrix(a)
+    return sp.coo_matrix(m.shape, dtype=m.dtype)
+
+
+def nnz_per_row(a) -> np.ndarray:
+    """Number of stored nonzeros in each row of ``a``."""
+    m = canonical_coo(a)
+    return np.bincount(m.row, minlength=m.shape[0]).astype(np.int64)
+
+
+def nnz_per_col(a) -> np.ndarray:
+    """Number of stored nonzeros in each column of ``a``."""
+    m = canonical_coo(a)
+    return np.bincount(m.col, minlength=m.shape[1]).astype(np.int64)

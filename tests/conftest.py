@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.coo import canonical_coo
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_square():
+    """A 30×30 sparse matrix with diagonal, deterministic."""
+    a = sp.random(30, 30, density=0.12, random_state=7, format="coo")
+    return canonical_coo(a + sp.eye(30))
+
+
+@pytest.fixture
+def small_rect():
+    """A 20×28 rectangular sparse matrix, deterministic."""
+    return canonical_coo(sp.random(20, 28, density=0.15, random_state=9, format="coo"))
+
+
+@pytest.fixture
+def medium_square():
+    """A 200×200 matrix, enough structure for partitioning tests."""
+    a = sp.random(200, 200, density=0.03, random_state=3, format="coo")
+    return canonical_coo(a + sp.eye(200))
+
+
+def random_vector_partition(rng, m, n, k):
+    """Random x/y partition covering all parts."""
+    y = rng.integers(0, k, size=m)
+    x = rng.integers(0, k, size=n)
+    # Guarantee every part owns at least one row and one column index
+    # when sizes permit (keeps loads sane in tests).
+    for p in range(min(k, m)):
+        y[p] = p
+    for p in range(min(k, n)):
+        x[p] = p
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+def random_s2d_partition(rng, a, k):
+    """A random admissible s2D partition of matrix ``a``."""
+    from repro.partition.types import SpMVPartition, VectorPartition
+
+    m = canonical_coo(a)
+    x, y = random_vector_partition(rng, m.shape[0], m.shape[1], k)
+    rp = y[m.row]
+    cp = x[m.col]
+    side = rng.random(m.nnz) < 0.5
+    nnz_part = np.where(side, rp, cp)
+    return SpMVPartition(
+        matrix=m,
+        nnz_part=nnz_part,
+        vectors=VectorPartition(x_part=x, y_part=y, nparts=k),
+        kind="s2D",
+    )

@@ -1,0 +1,31 @@
+"""CLI coverage for the extension subcommands and schemes."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_spy(capsys):
+    assert main(["spy", "--matrix", "trdheim", "--k", "3", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "|" in out and "-" in out
+
+
+def test_cli_spy_refuses_large():
+    with pytest.raises(SystemExit, match="max-dim"):
+        main(["spy", "--matrix", "c-big", "--scale", "tiny", "--max-dim", "10"])
+
+
+@pytest.mark.parametrize("scheme", ["2d-orb", "s2d-bal"])
+def test_cli_extension_schemes(scheme, capsys):
+    assert main(
+        ["partition", "--matrix", "trdheim", "--scheme", scheme, "--k", "4",
+         "--scale", "tiny"]
+    ) == 0
+    assert "speedup=" in capsys.readouterr().out
+
+
+def test_cli_table_with_default_scale_env(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert main(["table", "--id", "4"]) == 0
+    assert "scale=tiny" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""The (A3) balance-repair extension of Algorithm 1."""
+
+import numpy as np
+
+from repro.core import s2d_heuristic, s2d_heuristic_balanced, single_phase_comm_stats
+from repro.generators import banded_with_dense_rows, circuit_like
+from repro.hypergraph import PartitionConfig
+from repro.partition import partition_1d_rowwise
+
+CFG = PartitionConfig(seed=41, ninitial=2, fm_passes=2)
+
+
+def test_balanced_is_admissible(medium_square):
+    k = 8
+    p1 = partition_1d_rowwise(medium_square, k, CFG)
+    s = s2d_heuristic_balanced(medium_square, x_part=p1.vectors, nparts=k)
+    s.validate_s2d()
+    assert s.meta["method"] == "heuristic+A3"
+    assert s.loads().sum() == medium_square.nnz
+
+
+def test_balanced_never_worse_balance():
+    a = banded_with_dense_rows(400, band=1, ndense=1, dense_fraction=0.5, seed=1)
+    k = 16
+    p1 = partition_1d_rowwise(a, k, CFG)
+    plain = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
+    balanced = s2d_heuristic_balanced(a, x_part=p1.vectors, nparts=k)
+    assert balanced.load_imbalance() <= plain.load_imbalance() + 1e-12
+
+
+def test_balanced_repairs_dense_row_overload():
+    """A full-ish row saddles its 1D owner; (A3) moves should shed it."""
+    a = circuit_like(500, avg_degree=4, ndense=2, dense_fraction=0.5, seed=2)
+    k = 16
+    p1 = partition_1d_rowwise(a, k, CFG)
+    plain = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
+    balanced = s2d_heuristic_balanced(a, x_part=p1.vectors, nparts=k)
+    if plain.load_imbalance() > 0.05:
+        assert balanced.load_imbalance() < plain.load_imbalance()
+        assert len(balanced.meta["repair_moves"]) > 0
+
+
+def test_balanced_no_moves_when_already_balanced(medium_square):
+    k = 4
+    p1 = partition_1d_rowwise(medium_square, k, CFG)
+    balanced = s2d_heuristic_balanced(
+        medium_square, x_part=p1.vectors, nparts=k, w_lim=float(medium_square.nnz)
+    )
+    assert balanced.meta["repair_moves"] == []
+    plain = s2d_heuristic(
+        medium_square, x_part=p1.vectors, nparts=k, w_lim=float(medium_square.nnz)
+    )
+    assert np.array_equal(balanced.nnz_part, plain.nnz_part)
+
+
+def test_balanced_volume_still_simulatable():
+    from repro.simulate import run_single_phase
+
+    a = circuit_like(300, avg_degree=4, ndense=1, dense_fraction=0.5, seed=3)
+    k = 8
+    p1 = partition_1d_rowwise(a, k, CFG)
+    s = s2d_heuristic_balanced(a, x_part=p1.vectors, nparts=k)
+    run = run_single_phase(s)
+    assert run.ledger.total_volume() == single_phase_comm_stats(s).total_volume
+
+
+def test_breakdown_api(medium_square):
+    from repro.simulate import MachineModel, evaluate
+
+    k = 8
+    p1 = partition_1d_rowwise(medium_square, k, CFG)
+    q = evaluate(p1, machine=MachineModel(alpha=10, beta=2, gamma=1))
+    bd = q.run.breakdown(MachineModel(alpha=10, beta=2, gamma=1))
+    assert sum(e["total"] for e in bd) == q.time
+    names = [e["name"] for e in bd]
+    assert "expand-and-fold" in names
+    comm = next(e for e in bd if e["name"] == "expand-and-fold")
+    assert comm["latency"] > 0

@@ -1,0 +1,102 @@
+"""Eq. (3) bookkeeping: analytic formulas vs the executing simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pairwise_volumes, single_phase_comm_stats
+from repro.errors import PartitionError
+from repro.partition.types import SpMVPartition, VectorPartition
+from repro.simulate import run_single_phase
+from tests.conftest import random_s2d_partition
+
+import scipy.sparse as sp
+
+
+def test_formula_matches_ledger(small_square, rng):
+    p = random_s2d_partition(rng, small_square, 4)
+    stats = single_phase_comm_stats(p)
+    run = run_single_phase(p)
+    assert stats.total_volume == run.ledger.total_volume()
+    assert np.array_equal(stats.sent_volume, run.ledger.sent_volume())
+    assert np.array_equal(stats.recv_volume, run.ledger.recv_volume())
+    assert np.array_equal(stats.sent_msgs, run.ledger.sent_msgs())
+    assert np.array_equal(stats.recv_msgs, run.ledger.recv_msgs())
+
+
+def test_pairwise_matches_ledger_pairs(small_square, rng):
+    p = random_s2d_partition(rng, small_square, 3)
+    run = run_single_phase(p)
+    for (src, dst), lam in pairwise_volumes(p).items():
+        assert run.ledger.pair_volume("expand-and-fold", src, dst) == lam
+
+
+def test_eq3_manual_example():
+    # 2 parts; rows {0}, {1}; cols {0}, {1}
+    # nonzero (0,1) on row side -> x_1 travels 1->0
+    # nonzero (1,0) on col side -> partial y_1 travels 0->1
+    m = sp.coo_matrix((np.ones(4), ([0, 0, 1, 1], [0, 1, 0, 1])), shape=(2, 2))
+    p = SpMVPartition(
+        matrix=m,
+        nnz_part=np.array([0, 0, 0, 1]),
+        vectors=VectorPartition(
+            x_part=np.array([0, 1]), y_part=np.array([0, 1]), nparts=2
+        ),
+    )
+    lam = pairwise_volumes(p)
+    assert lam == {(1, 0): 1, (0, 1): 1}
+    stats = single_phase_comm_stats(p)
+    assert stats.total_volume == 2
+    assert stats.sent_msgs.tolist() == [1, 1]
+
+
+def test_rowwise_volume_equals_block_nhat(small_square, rng):
+    from repro.core import s2d_rowwise_baseline
+
+    k = 4
+    y = rng.integers(0, k, 30)
+    x = rng.integers(0, k, 30)
+    p = s2d_rowwise_baseline(small_square, x_part=x, y_part=y, nparts=k)
+    bs = p.block_structure()
+    assert single_phase_comm_stats(p).total_volume == bs.rowwise_volume()
+
+
+def test_formula_rejects_inadmissible(small_square):
+    m = small_square
+    k = 2
+    p = SpMVPartition(
+        matrix=m,
+        nnz_part=np.ones(m.nnz, dtype=np.int64),
+        vectors=VectorPartition(
+            x_part=np.zeros(30, dtype=np.int64),
+            y_part=np.zeros(30, dtype=np.int64),
+            nparts=k,
+        ),
+    )
+    with pytest.raises(PartitionError):
+        single_phase_comm_stats(p)
+
+
+def test_comm_stats_properties(small_square, rng):
+    p = random_s2d_partition(rng, small_square, 4)
+    stats = single_phase_comm_stats(p)
+    assert stats.nparts == 4
+    assert stats.max_sent_volume == stats.sent_volume.max()
+    assert stats.total_msgs == stats.sent_msgs.sum()
+    assert stats.avg_sent_msgs == pytest.approx(stats.sent_msgs.mean())
+    assert stats.max_sent_msgs == stats.sent_msgs.max()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.sampled_from([2, 3, 5]))
+def test_formula_equals_ledger_property(seed, k):
+    rng = np.random.default_rng(seed)
+    a = sp.random(18, 22, density=0.2, random_state=seed)
+    if a.nnz == 0:
+        return
+    p = random_s2d_partition(rng, a, k)
+    stats = single_phase_comm_stats(p)
+    run = run_single_phase(p)
+    assert stats.total_volume == run.ledger.total_volume()
+    assert np.array_equal(stats.sent_msgs, run.ledger.sent_msgs())

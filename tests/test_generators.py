@@ -1,0 +1,141 @@
+"""Workload generators: structural signatures and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.generators import (
+    arrow_matrix,
+    banded_with_dense_rows,
+    chung_lu,
+    circuit_like,
+    knn_mesh,
+    poisson2d,
+    poisson3d,
+    rmat,
+    table1_suite,
+    table4_suite,
+)
+from repro.sparse.properties import matrix_properties
+
+
+def test_poisson2d_structure():
+    a = poisson2d(5, 4)
+    assert a.shape == (20, 20)
+    p = matrix_properties(a)
+    assert p.dmax <= 5
+    # pattern is symmetric (values are random, so compare structure)
+    pat = (abs(a) > 0).astype(int)
+    assert (pat != pat.T).nnz == 0
+
+
+def test_poisson3d_structure():
+    a = poisson3d(4)
+    assert a.shape == (64, 64)
+    assert matrix_properties(a).dmax <= 7
+
+
+def test_knn_mesh_degree_target():
+    a = knn_mesh(150, 8, seed=1)
+    p = matrix_properties(a)
+    assert 8 <= p.davg <= 18  # k..2k plus diagonal
+    assert p.row_skew < 3  # near-regular
+
+
+def test_knn_mesh_dense_rows():
+    a = knn_mesh(150, 6, seed=2, dense_rows=1, dense_fraction=0.4)
+    p = matrix_properties(a)
+    assert p.dmax >= 0.3 * 150
+
+
+def test_rmat_shape_and_skew():
+    a = rmat(8, edge_factor=6, seed=3)
+    assert a.shape == (256, 256)
+    p = matrix_properties(a)
+    assert p.row_skew > 3  # power-law-ish skew
+
+
+def test_rmat_rejects_bad_probs():
+    with pytest.raises(ConfigError):
+        rmat(5, a=0.5, b=0.5, c=0.5, d=0.5)
+
+
+def test_rmat_undirected_symmetric():
+    a = rmat(6, seed=4, undirected=True)
+    pat = (abs(a) > 0).astype(int)
+    assert (pat != pat.T).nnz == 0
+
+
+def test_chung_lu_average_degree():
+    a = chung_lu(500, 6.0, seed=5)
+    p = matrix_properties(a)
+    assert 3.0 < p.davg < 12.0
+    assert p.row_skew > 2
+
+
+def test_chung_lu_rejects_gamma():
+    with pytest.raises(ConfigError):
+        chung_lu(10, 3.0, gamma=1.5)
+
+
+def test_circuit_like_dense_row():
+    a = circuit_like(300, avg_degree=4, ndense=2, dense_fraction=0.5, seed=6)
+    p = matrix_properties(a)
+    assert p.dmax >= 0.4 * 300
+    assert p.davg < 12
+
+
+def test_banded_with_dense_rows():
+    a = banded_with_dense_rows(200, band=2, ndense=1, dense_fraction=0.3, seed=7)
+    p = matrix_properties(a)
+    assert p.dmax >= 0.25 * 200
+
+
+def test_arrow_matrix_full_row():
+    a = arrow_matrix(50, nfull=1, seed=8)
+    p = matrix_properties(a)
+    assert p.dmax == 50  # the full row
+
+
+def test_generators_deterministic():
+    a = circuit_like(100, seed=9)
+    b = circuit_like(100, seed=9)
+    assert (abs(a - b) > 0).nnz == 0
+
+
+def test_table1_suite_contents():
+    suite = table1_suite("tiny")
+    assert [s.name for s in suite] == [
+        "crystk02", "turon_m", "trdheim", "c-big",
+        "ASIC_680k", "3dtube", "pkustk12", "pattern1",
+    ]
+    # low-skew FEM analogs vs high-skew circuit analog
+    props = {s.name: s.properties() for s in suite}
+    assert props["trdheim"].row_skew < 3
+    assert props["ASIC_680k"].row_skew > 10
+
+
+def test_table4_suite_dense_rows():
+    suite = table4_suite("tiny")
+    assert len(suite) == 8
+    props = {s.name: s.properties() for s in suite}
+    # ins2 analog contains a (near-)full row, like the paper notes
+    assert props["ins2"].dmax == props["ins2"].nrows
+    assert props["lp1"].dmax == props["lp1"].nrows
+
+
+def test_suite_rejects_unknown_scale():
+    with pytest.raises(ConfigError):
+        table1_suite("huge")
+
+
+def test_suite_scales_monotone():
+    tiny = table1_suite("tiny")[0].properties().nnz
+    small = table1_suite("small")[0].properties().nnz
+    assert small > tiny
+
+
+def test_values_bounded():
+    for a in (rmat(6, seed=1), chung_lu(100, 5, seed=1), circuit_like(80, seed=1)):
+        assert a.data.min() >= 0.5 - 1e-12
+        assert a.data.max() <= 1.5 + 1e-12

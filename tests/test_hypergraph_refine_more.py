@@ -1,0 +1,133 @@
+"""Deeper FM / coarsening / initial-partition behaviour, incl. properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.coarsen import coarsen_once
+from repro.hypergraph.initial import greedy_growing, random_bisection
+from repro.hypergraph.refine import bisection_cut, fm_refine, part_weights
+from repro.rng import as_generator
+
+
+def _random_hg(rng, n, nnets, max_pins=5, ncon=1):
+    nets = []
+    for _ in range(nnets):
+        size = int(rng.integers(1, max_pins + 1))
+        nets.append(list(rng.choice(n, size=min(size, n), replace=False)))
+    w = rng.integers(1, 4, size=(n, ncon))
+    costs = rng.integers(1, 5, size=nnets)
+    return Hypergraph.from_net_lists(nets, nvertices=n, vweights=w, ncosts=costs)
+
+
+def test_fm_zero_net_hypergraph():
+    hg = Hypergraph.from_net_lists([], nvertices=5)
+    part = np.zeros(5, dtype=np.int8)
+    t = hg.total_weight().astype(float)
+    out, cut = fm_refine(hg, part, (t / 2, t / 2), 0.1)
+    assert cut == 0
+
+
+def test_fm_empty_hypergraph():
+    hg = Hypergraph.from_net_lists([], nvertices=0)
+    out, cut = fm_refine(hg, np.zeros(0, dtype=np.int8), (np.array([0.0]), np.array([0.0])), 0.1)
+    assert out.size == 0 and cut == 0
+
+
+def test_fm_does_not_mutate_input():
+    hg = Hypergraph.from_net_lists([[0, 1], [1, 2]], nvertices=3)
+    part = np.array([0, 1, 0], dtype=np.int8)
+    before = part.copy()
+    t = hg.total_weight().astype(float)
+    fm_refine(hg, part, (t / 2, t / 2), 0.5)
+    assert np.array_equal(part, before)
+
+
+def test_fm_repairs_infeasible_start():
+    """All vertices on one side: FM must be allowed to reduce violation."""
+    n = 20
+    hg = Hypergraph.from_net_lists([[i, (i + 1) % n] for i in range(n)], nvertices=n)
+    part = np.zeros(n, dtype=np.int8)
+    t = hg.total_weight().astype(float)
+    out, _ = fm_refine(hg, part, (t / 2, t / 2), 0.1, max_passes=6)
+    pw = part_weights(hg, out)
+    # the refined bisection is far closer to balanced than the start
+    assert pw[1, 0] > 0
+    assert abs(pw[0, 0] - pw[1, 0]) < n
+
+
+def test_part_weights_shape():
+    hg = Hypergraph.from_net_lists([[0, 1]], nvertices=2, vweights=np.array([[1, 2], [3, 4]]))
+    pw = part_weights(hg, np.array([0, 1], dtype=np.int8))
+    assert pw.shape == (2, 2)
+    assert pw.tolist() == [[1, 2], [3, 4]]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fm_cut_consistency_property(seed):
+    """fm_refine's reported cut always equals a from-scratch recount."""
+    rng = as_generator(seed)
+    hg = _random_hg(rng, n=20, nnets=25)
+    part = rng.integers(0, 2, 20).astype(np.int8)
+    t = hg.total_weight().astype(float)
+    refined, cut = fm_refine(hg, part, (t / 2, t / 2), 0.2, max_passes=3)
+    assert cut == bisection_cut(hg, refined)
+    from repro.hypergraph.refine import _violation
+
+    limits = np.stack([t / 2 * 1.2, t / 2 * 1.2])
+    v0 = _violation(part_weights(hg, part).astype(float), limits)
+    v1 = _violation(part_weights(hg, refined).astype(float), limits)
+    if v0 <= 1.0:
+        # feasible start: refinement never increases the cut
+        assert cut <= bisection_cut(hg, part)
+        assert v1 <= 1.0  # and stays feasible
+    else:
+        # infeasible start: FM may trade cut for balance, never worsen it
+        assert v1 <= v0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_coarsen_preserves_weight_and_costs(seed):
+    rng = as_generator(seed)
+    hg = _random_hg(rng, n=30, nnets=40, ncon=2)
+    cmap, coarse = coarsen_once(hg, rng)
+    assert np.array_equal(coarse.total_weight(), hg.total_weight())
+    # cluster map covers all coarse ids contiguously
+    assert set(cmap.tolist()) == set(range(coarse.nvertices))
+    # no coarse net exceeds original total cost
+    assert coarse.ncosts.sum() <= hg.ncosts.sum()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_initial_partitions_binary(seed):
+    rng = as_generator(seed)
+    hg = _random_hg(rng, n=25, nnets=30)
+    t = hg.total_weight().astype(float)
+    for ctor in (greedy_growing, random_bisection):
+        part = ctor(hg, (t * 0.5, t * 0.5), rng)
+        assert part.shape == (25,)
+        assert set(np.unique(part)) <= {0, 1}
+
+
+def test_greedy_growing_reaches_target_weight():
+    hg = Hypergraph.from_net_lists(
+        [[i, i + 1] for i in range(39)], nvertices=40
+    )
+    t = hg.total_weight().astype(float)
+    part = greedy_growing(hg, (t * 0.5, t * 0.5), as_generator(3))
+    pw = part_weights(hg, part)
+    assert pw[0, 0] >= 0.4 * t[0]
+
+
+def test_coarsen_skips_huge_nets():
+    # one giant net + pair nets; the giant net must not dominate matching
+    nets = [list(range(50))] + [[i, i + 1] for i in range(0, 48, 2)]
+    hg = Hypergraph.from_net_lists(nets, nvertices=50)
+    cmap, coarse = coarsen_once(hg, as_generator(1), max_net_size=10)
+    # pairs should still match via the small nets
+    assert coarse.nvertices <= 30

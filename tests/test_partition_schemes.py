@@ -1,0 +1,185 @@
+"""1D, 2D fine-grain, checkerboard, and Boman partitioning schemes."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph import PartitionConfig
+from repro.partition import (
+    mesh_shape,
+    partition_1d_block_rows,
+    partition_1d_boman,
+    partition_1d_columnwise,
+    partition_1d_random_rows,
+    partition_1d_rowwise,
+    partition_2d_finegrain,
+    partition_checkerboard,
+)
+from repro.partition.checkerboard import mesh_coords
+from repro.partition.vector import conformal_x_partition
+
+CFG = PartitionConfig(seed=123, ninitial=2, fm_passes=2)
+
+
+# ---------------------------------------------------------------- 1D
+
+
+def test_1d_rowwise_structure(small_square):
+    p = partition_1d_rowwise(small_square, 4, CFG)
+    assert p.kind == "1D"
+    assert p.is_1d_rowwise()
+    assert p.is_s2d_admissible()
+    assert p.vectors.is_symmetric()  # square -> symmetric vectors
+    assert set(np.unique(p.nnz_part)) <= set(range(4))
+
+
+def test_1d_rowwise_rectangular(small_rect):
+    p = partition_1d_rowwise(small_rect, 3, CFG)
+    assert p.is_1d_rowwise()
+    assert p.vectors.n == small_rect.shape[1]
+    assert p.vectors.m == small_rect.shape[0]
+
+
+def test_1d_columnwise(small_square):
+    p = partition_1d_columnwise(small_square, 4, CFG)
+    assert p.kind == "1D-col"
+    assert p.is_1d_columnwise()
+    assert p.is_s2d_admissible()
+
+
+def test_1d_block_rows(small_square):
+    p = partition_1d_block_rows(small_square, 5)
+    y = p.vectors.y_part
+    # contiguous: nondecreasing part ids over rows
+    assert np.all(np.diff(y) >= 0)
+    assert y.max() == 4
+
+
+def test_1d_random_rows_deterministic(small_square):
+    p1 = partition_1d_random_rows(small_square, 4, seed=5)
+    p2 = partition_1d_random_rows(small_square, 4, seed=5)
+    assert np.array_equal(p1.nnz_part, p2.nnz_part)
+
+
+def test_1d_balance_reasonable(medium_square):
+    p = partition_1d_rowwise(medium_square, 4, PartitionConfig(seed=3))
+    assert p.load_imbalance() < 0.25
+
+
+def test_conformal_x_partition_majority():
+    import scipy.sparse as sp
+
+    a = sp.coo_matrix(
+        (np.ones(3), ([0, 1, 2], [0, 0, 0])), shape=(3, 2)
+    )
+    y = np.array([1, 1, 0])
+    x = conformal_x_partition(a, y, 2)
+    assert x[0] == 1  # two of three nonzeros in col 0 owned by part 1
+    # empty column dealt round-robin
+    assert 0 <= x[1] < 2
+
+
+# ---------------------------------------------------------------- 2D
+
+
+def test_finegrain_partition(small_square):
+    p = partition_2d_finegrain(small_square, 4, CFG)
+    assert p.kind == "2D"
+    assert p.loads().sum() == small_square.nnz
+    # fine-grain balance should be excellent (unit vertices)
+    assert p.load_imbalance() < 0.2
+
+
+def test_finegrain_beats_1d_balance_on_dense_row():
+    from repro.generators import arrow_matrix
+
+    a = arrow_matrix(120, nfull=1, seed=0)
+    k = 8
+    p1 = partition_1d_rowwise(a, k, CFG)
+    p2 = partition_2d_finegrain(a, k, CFG)
+    assert p2.load_imbalance() < p1.load_imbalance()
+
+
+# ---------------------------------------------------------------- 2D-b
+
+
+def test_mesh_shape_factorings():
+    assert mesh_shape(16) == (4, 4)
+    assert mesh_shape(64) == (8, 8)
+    assert mesh_shape(8) == (2, 4)
+    assert mesh_shape(7) == (1, 7)
+
+
+def test_mesh_coords_roundtrip():
+    pr, pc = 3, 4
+    for p in range(12):
+        r, c = mesh_coords(p, pc)
+        assert r * pc + c == p
+
+
+def test_checkerboard_structure(medium_square):
+    k = 8
+    p = partition_checkerboard(medium_square, k, CFG)
+    assert p.kind == "2D-b"
+    pr, pc = p.meta["mesh"]
+    assert pr * pc == k
+    stripe = p.meta["row_stripe"]
+    group = p.meta["col_group"]
+    m = p.matrix
+    expect = stripe[m.row] * pc + group[m.col]
+    assert np.array_equal(p.nnz_part, expect)
+
+
+def test_checkerboard_bounded_messages(medium_square):
+    from repro.simulate import run_two_phase
+
+    k = 8
+    p = partition_checkerboard(medium_square, k, CFG)
+    pr, pc = p.meta["mesh"]
+    run = run_two_phase(p)
+    assert run.ledger.sent_msgs("expand").max(initial=0) <= pr - 1
+    assert run.ledger.sent_msgs("fold").max(initial=0) <= pc - 1
+
+
+def test_checkerboard_rejects_bad_shape(small_square):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        partition_checkerboard(small_square, 8, CFG, shape=(3, 3))
+
+
+# ---------------------------------------------------------------- 1D-b
+
+
+def test_boman_keeps_vectors(medium_square):
+    base = partition_1d_rowwise(medium_square, 8, CFG)
+    p = partition_1d_boman(medium_square, 8, base=base)
+    assert p.kind == "1D-b"
+    assert np.array_equal(p.vectors.y_part, base.vectors.y_part)
+    assert np.array_equal(p.vectors.x_part, base.vectors.x_part)
+
+
+def test_boman_diagonal_blocks_stay(medium_square):
+    base = partition_1d_rowwise(medium_square, 8, CFG)
+    p = partition_1d_boman(medium_square, 8, base=base)
+    m = p.matrix
+    diag = base.vectors.y_part[m.row] == base.vectors.x_part[m.col]
+    assert np.array_equal(
+        p.nnz_part[diag], base.vectors.y_part[m.row][diag]
+    )
+
+
+def test_boman_bounded_messages(medium_square):
+    from repro.simulate import run_two_phase
+
+    k = 8
+    p = partition_1d_boman(medium_square, k, CFG)
+    pr, pc = p.meta["mesh"]
+    run = run_two_phase(p)
+    # expand stays within mesh columns; fold within mesh rows
+    assert run.ledger.sent_msgs("expand").max(initial=0) <= pr - 1
+    assert run.ledger.sent_msgs("fold").max(initial=0) <= pc - 1
+
+
+def test_boman_total_nnz_preserved(medium_square):
+    p = partition_1d_boman(medium_square, 8, CFG)
+    assert p.loads().sum() == medium_square.nnz

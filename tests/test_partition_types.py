@@ -1,0 +1,105 @@
+"""Partition dataclasses: validation and predicates."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import PartitionError
+from repro.partition.types import SpMVPartition, VectorPartition
+
+
+def _vectors(k=2):
+    return VectorPartition(
+        x_part=np.array([0, 1, 0]), y_part=np.array([0, 1, 1]), nparts=k
+    )
+
+
+def _matrix():
+    return sp.coo_matrix(
+        (np.ones(4), ([0, 1, 2, 2], [0, 1, 2, 0])), shape=(3, 3)
+    )
+
+
+def test_vector_partition_sizes():
+    v = _vectors()
+    assert v.n == 3 and v.m == 3
+    assert not v.is_symmetric()
+
+
+def test_vector_partition_symmetric():
+    part = np.array([0, 1, 1])
+    v = VectorPartition(x_part=part, y_part=part.copy(), nparts=2)
+    assert v.is_symmetric()
+
+
+def test_vector_partition_rejects_bad_ids():
+    with pytest.raises(PartitionError):
+        VectorPartition(x_part=np.array([3]), y_part=np.array([0]), nparts=2)
+
+
+def test_spmv_partition_validates_sizes():
+    with pytest.raises(PartitionError, match="nnz_part"):
+        SpMVPartition(matrix=_matrix(), nnz_part=np.array([0]), vectors=_vectors())
+
+
+def test_spmv_partition_validates_vector_shape():
+    vec = VectorPartition(x_part=np.array([0, 1]), y_part=np.array([0, 1]), nparts=2)
+    with pytest.raises(PartitionError, match="shape"):
+        SpMVPartition(matrix=_matrix(), nnz_part=np.zeros(4, dtype=int), vectors=vec)
+
+
+def test_loads_and_imbalance():
+    p = SpMVPartition(
+        matrix=_matrix(), nnz_part=np.array([0, 0, 0, 1]), vectors=_vectors()
+    )
+    assert p.loads().tolist() == [3, 1]
+    assert p.load_imbalance() == pytest.approx(3 / 2 - 1)
+
+
+def test_s2d_admissibility_positive():
+    # each nonzero with its row owner -> admissible (it's 1D rowwise)
+    m = _matrix()
+    y = np.array([0, 1, 1])
+    p = SpMVPartition(
+        matrix=m,
+        nnz_part=y[m.row],
+        vectors=VectorPartition(x_part=np.array([1, 0, 0]), y_part=y, nparts=2),
+    )
+    assert p.is_s2d_admissible()
+    assert p.is_1d_rowwise()
+    p.validate_s2d()
+
+
+def test_s2d_admissibility_negative():
+    m = _matrix()
+    # nonzero (0,0): y owner 0, x owner 0 -> assigning part 1 violates
+    p = SpMVPartition(
+        matrix=m,
+        nnz_part=np.array([1, 1, 1, 1]),
+        vectors=VectorPartition(
+            x_part=np.array([0, 1, 1]), y_part=np.array([0, 1, 1]), nparts=2
+        ),
+    )
+    assert not p.is_s2d_admissible()
+    with pytest.raises(PartitionError, match="violations"):
+        p.validate_s2d()
+
+
+def test_is_1d_columnwise():
+    m = _matrix()
+    x = np.array([0, 1, 0])
+    p = SpMVPartition(
+        matrix=m,
+        nnz_part=x[m.col],
+        vectors=VectorPartition(x_part=x, y_part=np.array([0, 1, 0]), nparts=2),
+    )
+    assert p.is_1d_columnwise()
+
+
+def test_block_structure_matches_partition(small_square, rng):
+    from tests.conftest import random_s2d_partition
+
+    p = random_s2d_partition(rng, small_square, 4)
+    bs = p.block_structure()
+    assert bs.nparts == 4
+    assert bs.nnz == small_square.nnz

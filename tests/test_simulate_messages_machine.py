@@ -1,0 +1,84 @@
+"""Message ledger bookkeeping and the machine cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate.machine import MachineModel, PhaseCost, SpMVRun
+from repro.simulate.messages import Ledger
+
+
+def test_ledger_records_and_aggregates():
+    led = Ledger(3)
+    led.record("p", 0, 1, 5)
+    led.record("p", 1, 2, 2)
+    led.record("q", 0, 2, 1)
+    assert led.total_volume() == 8
+    assert led.sent_volume("p").tolist() == [5, 2, 0]
+    assert led.recv_volume("p").tolist() == [0, 5, 2]
+    assert led.sent_msgs().tolist() == [2, 1, 0]
+    assert led.recv_msgs().tolist() == [0, 1, 2]
+    assert led.total_msgs() == 3
+    assert led.phase_names == ["p", "q"]
+    assert led.pair_volume("p", 0, 1) == 5
+    assert led.pair_volume("p", 2, 0) == 0
+
+
+def test_ledger_rejects_empty_message():
+    led = Ledger(2)
+    with pytest.raises(SimulationError, match="empty"):
+        led.record("p", 0, 1, 0)
+
+
+def test_ledger_rejects_self_message():
+    led = Ledger(2)
+    with pytest.raises(SimulationError, match="self"):
+        led.record("p", 1, 1, 3)
+
+
+def test_ledger_rejects_duplicate_pair_in_phase():
+    led = Ledger(2)
+    led.record("p", 0, 1, 3)
+    with pytest.raises(SimulationError, match="duplicate"):
+        led.record("p", 0, 1, 1)
+
+
+def test_ledger_rejects_out_of_range():
+    led = Ledger(2)
+    with pytest.raises(SimulationError, match="outside"):
+        led.record("p", 0, 5, 1)
+
+
+def test_machine_phase_time_components():
+    m = MachineModel(alpha=10, beta=2, gamma=1)
+    led = Ledger(2)
+    led.record("c", 0, 1, 7)
+    flops = np.array([4, 9])
+    t = m.phase_time(flops, led, "c")
+    # gamma*max_flops + beta*max(sent,recv) + alpha*max msgs
+    assert t == 1 * 9 + 2 * 7 + 10 * 1
+
+
+def test_machine_serial_time():
+    m = MachineModel(gamma=2.0)
+    assert m.serial_time(100) == 400.0
+
+
+def test_run_time_and_speedup():
+    m = MachineModel(alpha=0, beta=0, gamma=1)
+    led = Ledger(2)
+    run = SpMVRun(
+        y=np.zeros(2),
+        ledger=led,
+        phases=[PhaseCost("compute", flops=np.array([10, 30]))],
+        nnz=100,
+    )
+    assert run.time(m) == 30
+    assert run.speedup(m) == 200 / 30
+    assert run.total_flops().tolist() == [10, 30]
+
+
+def test_run_total_flops_requires_compute():
+    run = SpMVRun(y=np.zeros(1), ledger=Ledger(1), phases=[], nnz=1)
+    with pytest.raises(ValueError):
+        run.total_flops()

@@ -1,0 +1,92 @@
+"""evaluate() dispatch and PartitionQuality semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_s2d_bounded, s2d_heuristic
+from repro.hypergraph import PartitionConfig
+from repro.partition import (
+    partition_1d_boman,
+    partition_1d_columnwise,
+    partition_1d_rowwise,
+    partition_2d_finegrain,
+    partition_checkerboard,
+)
+from repro.simulate import MachineModel, evaluate
+from repro.simulate.report import EXECUTORS
+from tests.conftest import random_s2d_partition
+
+CFG = PartitionConfig(seed=61, ninitial=2, fm_passes=2)
+M = MachineModel(alpha=5, beta=1, gamma=1)
+
+
+def test_executor_dispatch_table_complete():
+    for kind in ("1D", "1D-col", "s2D", "s2D-mg", "2D", "2D-b", "1D-b", "s2D-b"):
+        assert kind in EXECUTORS
+
+
+def test_dispatch_single_phase(medium_square):
+    p = partition_1d_rowwise(medium_square, 4, CFG)
+    q = evaluate(p, machine=M)
+    assert q.run.ledger.phase_names == ["expand-and-fold"]
+
+
+def test_dispatch_columnwise_single_phase(medium_square):
+    p = partition_1d_columnwise(medium_square, 4, CFG)
+    q = evaluate(p, machine=M)
+    # columnwise = all fold traffic, still one phase
+    assert q.run.ledger.phase_names == ["expand-and-fold"]
+
+
+def test_dispatch_two_phase(medium_square):
+    for build in (partition_2d_finegrain, partition_checkerboard, partition_1d_boman):
+        p = build(medium_square, 4, CFG)
+        q = evaluate(p, machine=M)
+        assert set(q.run.ledger.phase_names) <= {"expand", "fold"}
+
+
+def test_dispatch_routed(medium_square):
+    p1 = partition_1d_rowwise(medium_square, 4, CFG)
+    s = s2d_heuristic(medium_square, x_part=p1.vectors, nparts=4)
+    b = make_s2d_bounded(s)
+    q = evaluate(b, machine=M)
+    assert set(q.run.ledger.phase_names) <= {"route-row", "route-col"}
+
+
+def test_unknown_kind_falls_back(small_square, rng):
+    p = random_s2d_partition(rng, small_square, 3)
+    p.kind = "mystery"
+    q = evaluate(p, machine=M)  # admissible -> single phase
+    assert q.kind == "mystery"
+
+
+def test_quality_fields_consistent(medium_square):
+    p = partition_1d_rowwise(medium_square, 4, CFG)
+    q = evaluate(p, machine=M)
+    assert q.nparts == 4
+    assert q.load_imbalance == pytest.approx(p.load_imbalance())
+    assert q.li_percent == pytest.approx(100 * q.load_imbalance)
+    assert q.total_volume == q.run.ledger.total_volume()
+    sent = q.run.ledger.sent_msgs()
+    assert q.avg_msgs == pytest.approx(sent.mean())
+    assert q.max_msgs == sent.max()
+    assert q.time == pytest.approx(q.run.time(M))
+    assert q.speedup == pytest.approx(q.run.speedup(M))
+
+
+def test_format_li_star_convention(small_square, rng):
+    p = random_s2d_partition(rng, small_square, 4)
+    q = evaluate(p, machine=M)
+    li = q.format_li()
+    assert li.endswith("%") or li.endswith("*")
+
+
+def test_machine_model_sensitivity(medium_square):
+    """Higher alpha must hurt the many-message scheme more."""
+    p1 = partition_1d_rowwise(medium_square, 8, CFG)
+    p2 = partition_2d_finegrain(medium_square, 8, CFG)
+    cheap = MachineModel(alpha=0, beta=1, gamma=1)
+    pricey = MachineModel(alpha=100, beta=1, gamma=1)
+    dq1 = evaluate(p1, machine=cheap).time - evaluate(p1, machine=pricey).time
+    dq2 = evaluate(p2, machine=cheap).time - evaluate(p2, machine=pricey).time
+    assert abs(dq2) >= abs(dq1)  # 2D pays alpha twice (two phases)

@@ -1,0 +1,164 @@
+"""Iterative solvers on simulated SpMV; partition save/load; 2-phase stats."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import make_s2d_bounded, s2d_heuristic
+from repro.core.volume import two_phase_comm_stats
+from repro.errors import ReproError, SimulationError
+from repro.hypergraph import PartitionConfig
+from repro.partition import partition_1d_rowwise, partition_2d_finegrain
+from repro.partition.serialize import load_partition, save_partition
+from repro.simulate import MachineModel, run_two_phase
+from repro.solvers import conjugate_gradient, jacobi, power_iteration
+from repro.sparse.coo import canonical_coo
+
+CFG = PartitionConfig(seed=51, ninitial=2, fm_passes=2)
+M = MachineModel(alpha=10, beta=1, gamma=1)
+
+
+@pytest.fixture(scope="module")
+def spd_partition():
+    """An SPD diagonally dominant matrix, 1D-partitioned."""
+    rng = np.random.default_rng(8)
+    n = 80
+    a = sp.random(n, n, density=0.05, random_state=8, format="coo")
+    a = (a + a.T) * 0.5
+    a = canonical_coo(a + sp.eye(n) * 10.0)
+    return partition_1d_rowwise(a, 4, CFG)
+
+
+# ---------------------------------------------------------------- solvers
+
+
+def test_power_iteration_matches_dense(spd_partition):
+    res = power_iteration(spd_partition, iters=300, tol=1e-12, machine=M)
+    dense = spd_partition.matrix.toarray()
+    lam_ref = np.max(np.linalg.eigvalsh(dense))
+    assert res.history[-1] == pytest.approx(lam_ref, rel=1e-6)
+    assert res.converged
+    assert res.comm_words > 0 and res.sim_time > 0
+
+
+def test_jacobi_solves(spd_partition):
+    n = spd_partition.matrix.shape[0]
+    b = np.arange(1, n + 1, dtype=np.float64)
+    res = jacobi(spd_partition, b, iters=500, tol=1e-12, machine=M)
+    assert res.converged
+    assert np.allclose(spd_partition.matrix @ res.x, b, atol=1e-8)
+    # residual history is monotone-ish decreasing overall
+    assert res.history[-1] < res.history[0]
+
+
+def test_cg_solves_faster_than_jacobi(spd_partition):
+    n = spd_partition.matrix.shape[0]
+    b = np.ones(n)
+    rj = jacobi(spd_partition, b, iters=500, tol=1e-10, machine=M)
+    rc = conjugate_gradient(spd_partition, b, iters=500, tol=1e-10, machine=M)
+    assert rc.converged
+    assert np.allclose(spd_partition.matrix @ rc.x, b, atol=1e-7)
+    assert rc.iterations <= rj.iterations
+
+
+def test_cg_on_s2d_and_bounded(spd_partition):
+    a = spd_partition.matrix
+    s = s2d_heuristic(a, x_part=spd_partition.vectors, nparts=4)
+    b = np.ones(a.shape[0])
+    rs = conjugate_gradient(s, b, tol=1e-10, machine=M)
+    rb = conjugate_gradient(make_s2d_bounded(s), b, tol=1e-10, machine=M)
+    assert rs.converged and rb.converged
+    assert np.allclose(rs.x, rb.x, atol=1e-8)  # same numerics, other route
+    # fewer words for s2D than its routed variant
+    assert rs.comm_words <= rb.comm_words
+
+
+def test_solver_rejects_rectangular():
+    a = sp.random(5, 7, density=0.5, random_state=0)
+    from repro.partition.types import SpMVPartition, VectorPartition
+
+    p = SpMVPartition(
+        matrix=a,
+        nnz_part=np.zeros(canonical_coo(a).nnz, dtype=np.int64),
+        vectors=VectorPartition(
+            x_part=np.zeros(7, dtype=np.int64),
+            y_part=np.zeros(5, dtype=np.int64),
+            nparts=1,
+        ),
+        kind="1D",
+    )
+    with pytest.raises(SimulationError, match="square"):
+        power_iteration(p)
+
+
+def test_jacobi_rejects_zero_diagonal():
+    a = sp.coo_matrix((np.ones(2), ([0, 1], [1, 0])), shape=(2, 2))
+    from repro.partition.types import SpMVPartition, VectorPartition
+
+    p = SpMVPartition(
+        matrix=a,
+        nnz_part=np.array([0, 0]),
+        vectors=VectorPartition(
+            x_part=np.zeros(2, dtype=np.int64),
+            y_part=np.zeros(2, dtype=np.int64),
+            nparts=1,
+        ),
+        kind="1D",
+    )
+    with pytest.raises(SimulationError, match="diagonal"):
+        jacobi(p, np.ones(2))
+
+
+# ---------------------------------------------------------------- serialize
+
+
+def test_partition_roundtrip(tmp_path, spd_partition):
+    path = tmp_path / "p.npz"
+    save_partition(spd_partition, path)
+    back = load_partition(path)
+    assert back.kind == spd_partition.kind
+    assert back.nparts == spd_partition.nparts
+    assert np.array_equal(back.nnz_part, spd_partition.nnz_part)
+    assert np.array_equal(back.vectors.x_part, spd_partition.vectors.x_part)
+    assert np.allclose(back.matrix.toarray(), spd_partition.matrix.toarray())
+
+
+def test_partition_roundtrip_meta_mesh(tmp_path, spd_partition):
+    s = s2d_heuristic(
+        spd_partition.matrix, x_part=spd_partition.vectors, nparts=4
+    )
+    b = make_s2d_bounded(s)
+    path = tmp_path / "b.npz"
+    save_partition(b, path)
+    back = load_partition(path)
+    assert back.kind == "s2D-b"
+    assert tuple(back.meta["mesh"]) == tuple(b.meta["mesh"])
+    back.validate_s2d()
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, nothing=np.zeros(3))
+    with pytest.raises((ReproError, KeyError)):
+        load_partition(path)
+
+
+# ---------------------------------------------------------------- 2-phase stats
+
+
+def test_two_phase_stats_match_ledger(medium_square):
+    p = partition_2d_finegrain(medium_square, 4, CFG)
+    expand, fold = two_phase_comm_stats(p)
+    run = run_two_phase(p)
+    assert np.array_equal(expand.sent_volume, run.ledger.sent_volume("expand"))
+    assert np.array_equal(fold.sent_volume, run.ledger.sent_volume("fold"))
+    assert np.array_equal(expand.sent_msgs, run.ledger.sent_msgs("expand"))
+    assert np.array_equal(fold.recv_msgs, run.ledger.recv_msgs("fold"))
+    assert expand.total_volume + fold.total_volume == run.ledger.total_volume()
+
+
+def test_two_phase_stats_1d_has_empty_fold(medium_square):
+    p = partition_1d_rowwise(medium_square, 4, CFG)
+    expand, fold = two_phase_comm_stats(p)
+    assert fold.total_volume == 0
+    assert expand.total_volume > 0

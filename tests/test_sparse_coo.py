@@ -1,0 +1,78 @@
+"""Unit tests for repro.sparse.coo."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.coo import (
+    canonical_coo,
+    coo_triplets,
+    empty_like_shape,
+    nnz_per_col,
+    nnz_per_row,
+)
+
+
+def test_canonical_sorts_row_major():
+    a = sp.coo_matrix(([1.0, 2.0, 3.0], ([2, 0, 2], [1, 3, 0])), shape=(3, 4))
+    m = canonical_coo(a)
+    assert m.row.tolist() == [0, 2, 2]
+    assert m.col.tolist() == [3, 0, 1]
+
+
+def test_canonical_sums_duplicates():
+    a = sp.coo_matrix(([1.0, 2.0], ([1, 1], [2, 2])), shape=(3, 3))
+    m = canonical_coo(a)
+    assert m.nnz == 1
+    assert m.data[0] == 3.0
+
+
+def test_canonical_drops_explicit_zeros():
+    a = sp.coo_matrix(([0.0, 5.0], ([0, 1], [0, 1])), shape=(2, 2))
+    m = canonical_coo(a)
+    assert m.nnz == 1
+    assert m.row[0] == 1
+
+
+def test_canonical_does_not_mutate_input():
+    a = sp.coo_matrix(([1.0, 2.0], ([1, 0], [0, 1])), shape=(2, 2))
+    rows_before = a.row.copy()
+    canonical_coo(a)
+    assert np.array_equal(a.row, rows_before)
+
+
+def test_canonical_accepts_dense_and_csr():
+    d = np.array([[1.0, 0.0], [0.0, 2.0]])
+    assert canonical_coo(d).nnz == 2
+    assert canonical_coo(sp.csr_matrix(d)).nnz == 2
+
+
+def test_coo_triplets_types():
+    rows, cols, vals = coo_triplets(sp.eye(4))
+    assert rows.dtype == np.int64
+    assert cols.dtype == np.int64
+    assert len(vals) == 4
+
+
+def test_empty_like_shape():
+    e = empty_like_shape(sp.eye(5))
+    assert e.shape == (5, 5)
+    assert e.nnz == 0
+
+
+def test_nnz_per_row_and_col():
+    a = sp.coo_matrix(([1.0] * 4, ([0, 0, 1, 2], [0, 1, 1, 2])), shape=(4, 3))
+    assert nnz_per_row(a).tolist() == [2, 1, 1, 0]
+    assert nnz_per_col(a).tolist() == [1, 2, 1]
+
+
+def test_nnz_per_row_counts_after_dedup():
+    a = sp.coo_matrix(([1.0, -1.0], ([0, 0], [0, 0])), shape=(1, 1))
+    # duplicates sum to zero -> eliminated -> empty row
+    assert nnz_per_row(a).tolist() == [0]
+
+
+@pytest.mark.parametrize("shape", [(1, 1), (5, 3), (3, 5), (10, 10)])
+def test_canonical_shape_preserved(shape):
+    a = sp.random(*shape, density=0.5, random_state=0)
+    assert canonical_coo(a).shape == shape

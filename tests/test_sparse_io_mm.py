@@ -1,0 +1,100 @@
+"""MatrixMarket I/O round-trips and error handling."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip_general(tmp_path, small_square):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(small_square, path, comment="roundtrip test")
+    back = read_matrix_market(path)
+    assert back.shape == small_square.shape
+    assert back.nnz == small_square.nnz
+    assert np.allclose(back.toarray(), small_square.toarray())
+
+
+def test_roundtrip_stream(small_rect):
+    buf = io.StringIO()
+    write_matrix_market(small_rect, buf)
+    back = read_matrix_market(io.StringIO(buf.getvalue()))
+    assert np.allclose(back.toarray(), small_rect.toarray())
+
+
+def test_read_pattern_field():
+    text = "%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n"
+    m = read_matrix_market(io.StringIO(text))
+    assert m.shape == (2, 3)
+    assert m.nnz == 2
+    assert m.data.tolist() == [1.0, 1.0]
+
+
+def test_read_symmetric_expands():
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n1 1 2.0\n2 1 5.0\n3 3 1.0\n"
+    )
+    m = read_matrix_market(io.StringIO(text))
+    dense = m.toarray()
+    assert dense[1, 0] == 5.0
+    assert dense[0, 1] == 5.0
+    assert m.nnz == 4
+
+
+def test_read_integer_field():
+    text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+    m = read_matrix_market(io.StringIO(text))
+    assert m.data[0] == 7.0
+
+
+def test_comments_and_blank_lines_skipped():
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n\n% another\n2 2 1\n2 2 4.5\n"
+    )
+    m = read_matrix_market(io.StringIO(text))
+    assert m.nnz == 1
+
+
+def test_missing_header_rejected():
+    with pytest.raises(ReproError, match="missing"):
+        read_matrix_market(io.StringIO("1 1 1\n1 1 1.0\n"))
+
+
+def test_bad_object_rejected():
+    with pytest.raises(ReproError, match="unsupported"):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket vector coordinate real general\n1 1 1\n")
+        )
+
+
+def test_array_format_rejected():
+    with pytest.raises(ReproError, match="unsupported"):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix array real general\n2 2\n1.0\n")
+        )
+
+
+def test_entry_count_mismatch_rejected():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+    with pytest.raises(ReproError, match="declared 2"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_out_of_range_index_rejected():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+    with pytest.raises(ReproError, match="outside"):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_write_is_one_based(small_square, tmp_path):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(sp.eye(3), path)
+    lines = path.read_text().splitlines()
+    assert lines[1].split() == ["3", "3", "3"]
+    assert lines[2].split()[:2] == ["1", "1"]

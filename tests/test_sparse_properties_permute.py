@@ -1,0 +1,57 @@
+"""Matrix properties (Tables I/IV support) and Figure-1 style rendering."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.permute import block_permutation, spy_string
+from repro.sparse.properties import matrix_properties
+
+
+def test_properties_basic():
+    a = sp.coo_matrix(
+        (np.ones(5), ([0, 0, 0, 1, 2], [0, 1, 2, 1, 2])), shape=(3, 3)
+    )
+    p = matrix_properties(a, name="t")
+    assert p.nnz == 5
+    assert p.davg == 5 / 3
+    assert p.dmax == 3
+    assert p.dmax_col == 2
+    assert p.name == "t"
+    assert p.n == 3
+
+
+def test_properties_skew():
+    a = sp.coo_matrix((np.ones(4), ([0, 0, 0, 1], [0, 1, 2, 0])), shape=(4, 3))
+    p = matrix_properties(a)
+    assert p.row_skew == p.dmax / p.davg
+
+
+def test_table_row_contains_fields():
+    row = matrix_properties(sp.eye(7), name="seven").table_row()
+    assert "seven" in row and "7" in row
+
+
+def test_block_permutation_groups_parts():
+    part = np.array([2, 0, 1, 0, 2])
+    perm = block_permutation(part)
+    assert part[perm].tolist() == [0, 0, 1, 2, 2]
+    # stability: first part-0 index (1) precedes the second (3)
+    assert perm.tolist().index(1) < perm.tolist().index(3)
+
+
+def test_spy_string_digits_and_separators():
+    a = sp.coo_matrix((np.ones(3), ([0, 1, 2], [0, 1, 2])), shape=(3, 3))
+    s = spy_string(
+        a,
+        nnz_part=np.array([0, 1, 2]),
+        x_part=np.array([0, 1, 2]),
+        y_part=np.array([0, 1, 2]),
+    )
+    assert "1" in s and "2" in s and "3" in s
+    assert "|" in s and "-" in s
+
+
+def test_spy_string_without_vector_parts():
+    a = sp.eye(2)
+    s = spy_string(a, nnz_part=np.array([0, 0]))
+    assert s.splitlines()[0].startswith("1")
