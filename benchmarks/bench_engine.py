@@ -1,0 +1,123 @@
+"""Micro-benchmark: batched block analytics vs the legacy per-block path.
+
+Times the two block-statistics implementations and the two block-DM
+drivers on a 64-part R-MAT instance (≥ 1e5 nonzeros), plus the engine's
+cached-vs-uncached multi-method pipeline, and emits the numbers to
+``BENCH_engine.json`` at the repository root — the seed point of the
+performance trajectory.
+
+Run directly (no pytest machinery needed)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
+
+RMAT_SCALE = 13
+EDGE_FACTOR = 10.0
+NPARTS = 64
+MIN_NNZ = 100_000
+REPEATS = 5
+
+
+def _best_of(repeats, fn, *, reset=None):
+    """Minimum wall time of ``fn`` over ``repeats`` runs (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        if reset is not None:
+            reset()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(out_path: pathlib.Path = DEFAULT_OUT) -> dict:
+    from repro.dm.batch import batched_block_dm, legacy_block_dm
+    from repro.engine import PartitionEngine
+    from repro.generators.rmat import rmat
+    from repro.sparse.blocks import BlockStructure, legacy_block_stats
+
+    a = rmat(RMAT_SCALE, edge_factor=EDGE_FACTOR, seed=99)
+    assert a.nnz >= MIN_NNZ, f"R-MAT instance too small: {a.nnz} nnz"
+    n = a.shape[0]
+    # Contiguous block vector partition: deterministic and cheap, so the
+    # timings isolate the analytics, not the hypergraph partitioner.
+    y = np.minimum((np.arange(n, dtype=np.int64) * NPARTS) // n, NPARTS - 1)
+    bs = BlockStructure(a.row, a.col, y, y, NPARTS)
+
+    def _reset_stats():
+        bs._stats = None
+
+    t_stats_batched = _best_of(REPEATS, bs.block_stats, reset=_reset_stats)
+    t_stats_legacy = _best_of(REPEATS, lambda: legacy_block_stats(bs))
+    bs.block_stats()  # leave the cache warm for the DM drivers
+    t_dm_batched = _best_of(REPEATS, lambda: batched_block_dm(bs))
+    t_dm_legacy = _best_of(REPEATS, lambda: legacy_block_dm(bs))
+
+    # Engine pipeline: five methods on one matrix, shared intermediates
+    # vs rebuilt-per-method.  A smaller instance keeps this section fast.
+    b = rmat(9, edge_factor=8.0, seed=7)
+
+    def _pipeline(cache: bool) -> float:
+        eng = PartitionEngine(b, seed=1, cache=cache)
+        t0 = time.perf_counter()
+        for method in ("1d-rowwise", "s2d-heuristic", "s2d-optimal", "s2d-bounded", "s2d-balanced"):
+            eng.plan(method, 16)
+        return time.perf_counter() - t0
+
+    t_pipe_cached = min(_pipeline(True) for _ in range(3))
+    t_pipe_uncached = min(_pipeline(False) for _ in range(3))
+
+    result = {
+        "matrix": {
+            "generator": "rmat",
+            "scale": RMAT_SCALE,
+            "edge_factor": EDGE_FACTOR,
+            "n": int(n),
+            "nnz": int(a.nnz),
+            "nparts": NPARTS,
+            "nonempty_blocks": int(bs.block_keys.size),
+        },
+        "block_stats": {
+            "legacy_s": t_stats_legacy,
+            "batched_s": t_stats_batched,
+            "speedup": t_stats_legacy / t_stats_batched,
+        },
+        "block_dm": {
+            "legacy_s": t_dm_legacy,
+            "batched_s": t_dm_batched,
+            "speedup": t_dm_legacy / t_dm_batched,
+        },
+        "engine_pipeline": {
+            "methods": 5,
+            "nparts": 16,
+            "uncached_s": t_pipe_uncached,
+            "cached_s": t_pipe_cached,
+            "speedup": t_pipe_uncached / t_pipe_cached,
+        },
+    }
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def main() -> int:
+    result = run()
+    print(json.dumps(result, indent=2))
+    speedup = result["block_stats"]["speedup"]
+    print(f"\nblock analytics speedup: {speedup:.1f}x  (target >= 3x)")
+    return 0 if speedup >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,14 +9,16 @@ decomposition, and a distributed-memory SpMV simulator.
 Quick start::
 
     import scipy.sparse as sp
-    from repro import (
-        partition_1d_rowwise, s2d_heuristic, evaluate,
-    )
+    from repro import PartitionEngine
 
     a = sp.random(1000, 1000, density=0.01) + sp.eye(1000)
-    oned = partition_1d_rowwise(a, nparts=16)
-    s2d = s2d_heuristic(a, x_part=oned.vectors, nparts=16)
-    print(evaluate(oned).total_volume, evaluate(s2d).total_volume)
+    engine = PartitionEngine(a, seed=1)
+    oned = engine.plan("1d-rowwise", 16)
+    s2d = engine.plan("s2d-heuristic", 16)  # reuses 1D's vectors + analytics
+    print(oned.quality().total_volume, s2d.quality().total_volume)
+
+The lower-level construction functions (``partition_1d_rowwise``,
+``s2d_heuristic`` …) remain available for one-off use.
 
 See ``DESIGN.md`` for the subsystem inventory and ``EXPERIMENTS.md``
 for the reproduced tables/figures.
@@ -33,6 +35,7 @@ from repro.core import (
     single_phase_comm_stats,
     two_phase_comm_stats,
 )
+from repro.engine import PartitionEngine, Plan, available_methods
 from repro.partition.serialize import load_partition, save_partition
 from repro.solvers import conjugate_gradient, jacobi, power_iteration
 from repro.hypergraph import PartitionConfig, partition_kway
@@ -58,6 +61,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified pipeline
+    "PartitionEngine",
+    "Plan",
+    "available_methods",
     # s2D core
     "s2d_optimal",
     "s2d_heuristic",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import make_s2d_bounded, partition_s2d_medium_grain, s2d_heuristic, s2d_optimal
+from repro.engine import ALIASES, PartitionEngine, available_methods
 from repro.experiments import (
     ExperimentConfig,
     figure1_report,
@@ -32,13 +32,6 @@ from repro.experiments import (
     run_table7,
 )
 from repro.generators.suite import SCALES, table1_suite, table4_suite
-from repro.partition import (
-    partition_1d_boman,
-    partition_1d_rowwise,
-    partition_2d_finegrain,
-    partition_checkerboard,
-)
-from repro.simulate import evaluate
 from repro.sparse import matrix_properties, read_matrix_market
 
 __all__ = ["main"]
@@ -53,10 +46,9 @@ _TABLES = {
     7: run_table7,
 }
 
-_SCHEMES = (
-    "1d", "2d", "2d-orb", "2d-b", "1d-b",
-    "s2d", "s2d-opt", "s2d-bal", "s2d-b", "s2d-mg",
-)
+# Historical short spellings plus the engine's canonical method names;
+# either resolves through the registry.
+_SCHEMES = tuple(sorted(set(ALIASES) | set(available_methods())))
 
 
 def _find_matrix(name: str, scale: str):
@@ -66,33 +58,8 @@ def _find_matrix(name: str, scale: str):
     raise SystemExit(f"unknown suite matrix {name!r}; see `suite` subcommand")
 
 
-def _build(scheme: str, a, k: int, cfg: ExperimentConfig):
-    if scheme == "1d":
-        return partition_1d_rowwise(a, k, cfg.partitioner())
-    if scheme == "2d":
-        return partition_2d_finegrain(a, k, cfg.partitioner())
-    if scheme == "2d-orb":
-        from repro.partition import partition_mondriaan
-
-        return partition_mondriaan(a, k, cfg.partitioner())
-    if scheme == "2d-b":
-        return partition_checkerboard(a, k, cfg.partitioner())
-    if scheme == "1d-b":
-        return partition_1d_boman(a, k, cfg.partitioner())
-    if scheme == "s2d-mg":
-        return partition_s2d_medium_grain(a, k, cfg.partitioner())
-    base = partition_1d_rowwise(a, k, cfg.partitioner())
-    if scheme == "s2d":
-        return s2d_heuristic(a, x_part=base.vectors, nparts=k)
-    if scheme == "s2d-opt":
-        return s2d_optimal(a, x_part=base.vectors, nparts=k)
-    if scheme == "s2d-bal":
-        from repro.core import s2d_heuristic_balanced
-
-        return s2d_heuristic_balanced(a, x_part=base.vectors, nparts=k)
-    if scheme == "s2d-b":
-        return make_s2d_bounded(s2d_heuristic(a, x_part=base.vectors, nparts=k))
-    raise SystemExit(f"unknown scheme {scheme!r}; pick one of {_SCHEMES}")
+def _engine(a, cfg: ExperimentConfig) -> PartitionEngine:
+    return PartitionEngine(a, seed=cfg.seed, machine=cfg.machine)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"matrix is {a.shape}; use --max-dim to force rendering"
             )
         cfg = ExperimentConfig(scale=args.scale)
-        p = _build(args.scheme, a, args.k, cfg)
+        p = _engine(a, cfg).plan(args.scheme, args.k, config=cfg.partitioner()).partition
         print(
             spy_string(p.matrix, p.nnz_part, p.vectors.x_part, p.vectors.y_part)
         )
@@ -165,10 +132,10 @@ def main(argv: list[str] | None = None) -> int:
         a = read_matrix_market(args.mtx) if args.mtx else _find_matrix(args.matrix, args.scale)
         props = matrix_properties(a, name=args.matrix or args.mtx)
         print(props.table_row())
-        p = _build(args.scheme, a, args.k, cfg)
-        q = evaluate(p, machine=cfg.machine)
+        plan = _engine(a, cfg).plan(args.scheme, args.k, config=cfg.partitioner())
+        q = plan.quality()
         print(
-            f"scheme={p.kind} K={q.nparts} LI={q.format_li()} "
+            f"scheme={plan.kind} K={q.nparts} LI={q.format_li()} "
             f"volume={q.total_volume} msgs(avg/max)={q.avg_msgs:.1f}/{q.max_msgs} "
             f"speedup={q.speedup:.1f}"
         )

@@ -28,14 +28,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dm import coarse_dm
+from repro.dm import batched_block_dm
 from repro.errors import PartitionError
 from repro.partition.types import SpMVPartition, VectorPartition
 from repro.partition.vector import vector_partition_from_rows
 from repro.sparse.blocks import BlockStructure
 from repro.sparse.coo import canonical_coo
 
-__all__ = ["s2d_optimal", "s2d_heuristic", "s2d_rowwise_baseline", "BlockChoice"]
+__all__ = [
+    "s2d_optimal",
+    "s2d_heuristic",
+    "s2d_rowwise_baseline",
+    "BlockChoice",
+    "choices_from_block_dm",
+]
 
 
 @dataclass
@@ -70,24 +76,27 @@ def _as_vectors(a, x_part, y_part, nparts: int) -> tuple:
     return m, vectors
 
 
-def _block_choices(m, bs: BlockStructure) -> list[BlockChoice]:
-    """DM decomposition of every nonempty off-diagonal block."""
-    choices = []
-    for ell, k in bs.nonempty_offdiagonal_blocks():
-        idx = bs.block_nnz_indices(ell, k)
-        rows = m.row[idx]
-        cols = m.col[idx]
-        dm = coarse_dm(rows, cols)
-        mask = dm.horizontal_nnz_mask(rows, cols)
-        choices.append(
-            BlockChoice(
-                row_part=ell,
-                col_part=k,
-                h_nnz=idx[mask],
-                lambda_minus=dm.volume_reduction(),
-            )
+def choices_from_block_dm(dm_results) -> list[BlockChoice]:
+    """Fresh :class:`BlockChoice` bookkeeping from batched DM results.
+
+    Choices carry mutable state (``chose_a2``) and get re-sorted by the
+    heuristic, so callers holding cached :class:`repro.dm.BlockDM`
+    results (the engine) build a fresh list per construction.
+    """
+    return [
+        BlockChoice(
+            row_part=r.row_part,
+            col_part=r.col_part,
+            h_nnz=r.h_nnz,
+            lambda_minus=r.dm.volume_reduction(),
         )
-    return choices
+        for r in dm_results
+    ]
+
+
+def _block_choices(m, bs: BlockStructure) -> list[BlockChoice]:
+    """DM decomposition of every nonempty off-diagonal block (batched)."""
+    return choices_from_block_dm(batched_block_dm(bs))
 
 
 def s2d_rowwise_baseline(a, x_part=None, y_part=None, nparts: int = 1) -> SpMVPartition:
@@ -99,17 +108,32 @@ def s2d_rowwise_baseline(a, x_part=None, y_part=None, nparts: int = 1) -> SpMVPa
     return SpMVPartition(matrix=m, nnz_part=nnz_part, vectors=vectors, kind="s2D")
 
 
-def s2d_optimal(a, x_part=None, y_part=None, nparts: int = 1) -> SpMVPartition:
+def s2d_optimal(
+    a,
+    x_part=None,
+    y_part=None,
+    nparts: int = 1,
+    *,
+    block_structure: BlockStructure | None = None,
+    choices: list[BlockChoice] | None = None,
+) -> SpMVPartition:
     """Volume-optimal s2D partition for the given vector partition.
 
     Every off-diagonal block takes alternative (A2): its horizontal
     sub-block goes to the column owner, the rest stays with the row
     owner.  Load balance is *not* considered (Section IV-A).
+
+    ``block_structure`` / ``choices`` let a caller holding memoized
+    intermediates (the :class:`repro.engine.PartitionEngine`) skip the
+    block analytics; both must derive from the same vector partition.
     """
     m, vectors = _as_vectors(a, x_part, y_part, nparts)
-    bs = BlockStructure(m.row, m.col, vectors.x_part, vectors.y_part, vectors.nparts)
+    if choices is None:
+        bs = block_structure or BlockStructure(
+            m.row, m.col, vectors.x_part, vectors.y_part, vectors.nparts
+        )
+        choices = _block_choices(m, bs)
     nnz_part = vectors.y_part[m.row].copy()
-    choices = _block_choices(m, bs)
     for ch in choices:
         nnz_part[ch.h_nnz] = ch.col_part
         ch.chose_a2 = True
@@ -132,6 +156,9 @@ def s2d_heuristic(
     w_lim: float | None = None,
     epsilon: float = 0.03,
     max_rounds: int = 64,
+    *,
+    block_structure: BlockStructure | None = None,
+    choices: list[BlockChoice] | None = None,
 ) -> SpMVPartition:
     """Algorithm 1: bi-objective s2D partitioning.
 
@@ -142,16 +169,22 @@ def s2d_heuristic(
     ``max(W̃, w_lim)`` — using the *current* maximum W̃ lets the
     algorithm proceed even when the rowwise start already violates
     ``w_lim``, exactly as the implementation note in Section IV-B says.
+
+    ``block_structure`` / ``choices`` inject memoized intermediates
+    (see :func:`s2d_optimal`); ``choices`` are consumed (mutated).
     """
     m, vectors = _as_vectors(a, x_part, y_part, nparts)
     k = vectors.nparts
-    bs = BlockStructure(m.row, m.col, vectors.x_part, vectors.y_part, k)
+    bs = block_structure or BlockStructure(
+        m.row, m.col, vectors.x_part, vectors.y_part, k
+    )
     if w_lim is None:
         w_lim = (1.0 + epsilon) * (m.nnz / k)
 
     loads = bs.rowwise_loads().astype(np.int64)
     nnz_part = vectors.y_part[m.row].copy()
-    choices = _block_choices(m, bs)
+    if choices is None:
+        choices = _block_choices(m, bs)
     # Decreasing volume saving; ties by larger H first (more balance relief).
     choices.sort(key=lambda ch: (-ch.lambda_minus, -ch.h_size))
 

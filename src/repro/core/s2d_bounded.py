@@ -29,6 +29,7 @@ from repro.core.volume import _admissible_sides
 from repro.errors import ConfigError
 from repro.partition.checkerboard import mesh_shape
 from repro.partition.types import SpMVPartition
+from repro.sparse.blocks import grouped_distinct_counts
 
 __all__ = ["make_s2d_bounded", "bounded_comm_stats", "RoutedCommStats"]
 
@@ -121,47 +122,37 @@ def bounded_comm_stats(p: SpMVPartition, shape: tuple[int, int] | None = None) -
     ncols = p.matrix.shape[1]
     nrows = p.matrix.shape[0]
 
+    def _hop(x_from, x_to, y_from, y_to):
+        """Volume and message counts of one forwarding hop.
+
+        Combining is the grouped distinct count: an x_j travels a hop
+        once per (sender, receiver) pair regardless of how many final
+        destinations need it, and partials for the same y_i meeting at
+        an intermediate are summed, so the (sender, receiver, line) key
+        deduplicates across senders.
+        """
+        x_move = x_to != x_from
+        y_move = y_to != y_from
+        gx, cx = grouped_distinct_counts(
+            x_from[x_move] * knum + x_to[x_move], x_j[x_move], ncols
+        )
+        gy, cy = grouped_distinct_counts(
+            y_from[y_move] * knum + y_to[y_move], y_i[y_move], nrows
+        )
+        vol = np.zeros(knum, dtype=np.int64)
+        np.add.at(vol, gx // knum, cx)
+        np.add.at(vol, gy // knum, cy)
+        msgs = np.zeros(knum, dtype=np.int64)
+        np.add.at(msgs, np.union1d(gx, gy) // knum, 1)
+        return vol, msgs
+
     # ---- phase 1 (row phase): k -> t = (r_k, c_dst) ------------------
     x_t = (x_src // pc) * pc + (x_dst % pc)
     y_t = (y_src // pc) * pc + (y_dst % pc)
-    x_hop1 = x_t != x_src
-    y_hop1 = y_t != y_src
-    # Combine: an x_j travels k -> t once regardless of how many final
-    # destinations sit in t's mesh column; same for a partial y_i.
-    p1_x = np.unique(
-        (x_src[x_hop1] * knum + x_t[x_hop1]) * (ncols + 1) + x_j[x_hop1]
-    )
-    p1_y = np.unique(
-        (y_src[y_hop1] * knum + y_t[y_hop1]) * (nrows + 1) + y_i[y_hop1]
-    )
-    phase1_vol = np.zeros(knum, dtype=np.int64)
-    np.add.at(phase1_vol, (p1_x // (ncols + 1)) // knum, 1)
-    np.add.at(phase1_vol, (p1_y // (nrows + 1)) // knum, 1)
-    p1_pairs = np.unique(
-        np.concatenate([p1_x // (ncols + 1), p1_y // (nrows + 1)])
-    )
-    phase1_msgs = np.zeros(knum, dtype=np.int64)
-    np.add.at(phase1_msgs, p1_pairs // knum, 1)
+    phase1_vol, phase1_msgs = _hop(x_src, x_t, y_src, y_t)
 
     # ---- phase 2 (column phase): t -> dst ----------------------------
-    x_hop2 = x_t != x_dst
-    y_hop2 = y_t != y_dst
-    p2_x = np.unique(
-        (x_t[x_hop2] * knum + x_dst[x_hop2]) * (ncols + 1) + x_j[x_hop2]
-    )
-    # Combine: partials for the same y_i meeting at t are summed, so the
-    # (t, dst, i) key deduplicates across senders.
-    p2_y = np.unique(
-        (y_t[y_hop2] * knum + y_dst[y_hop2]) * (nrows + 1) + y_i[y_hop2]
-    )
-    phase2_vol = np.zeros(knum, dtype=np.int64)
-    np.add.at(phase2_vol, (p2_x // (ncols + 1)) // knum, 1)
-    np.add.at(phase2_vol, (p2_y // (nrows + 1)) // knum, 1)
-    p2_pairs = np.unique(
-        np.concatenate([p2_x // (ncols + 1), p2_y // (nrows + 1)])
-    )
-    phase2_msgs = np.zeros(knum, dtype=np.int64)
-    np.add.at(phase2_msgs, p2_pairs // knum, 1)
+    phase2_vol, phase2_msgs = _hop(x_t, x_dst, y_t, y_dst)
 
     return RoutedCommStats(
         total_volume=int(phase1_vol.sum() + phase2_vol.sum()),

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.s2d import s2d_heuristic
+from repro.core.s2d import BlockChoice, s2d_heuristic
 from repro.partition.types import SpMVPartition
 from repro.sparse.blocks import BlockStructure
 
@@ -43,6 +43,9 @@ def s2d_heuristic_balanced(
     w_lim: float | None = None,
     epsilon: float = 0.03,
     max_moves: int = 10_000,
+    *,
+    block_structure: BlockStructure | None = None,
+    choices: list[BlockChoice] | None = None,
 ) -> SpMVPartition:
     """Algorithm 1 plus (A3) balance-repair moves.
 
@@ -50,10 +53,19 @@ def s2d_heuristic_balanced(
     is still s2D-admissible and its volume is still at most the 1D
     rowwise volume *unless* repair moves were needed, in which case
     volume is knowingly traded for balance (each trade is recorded in
-    ``meta['repair_moves']``).
+    ``meta['repair_moves']``).  ``block_structure`` / ``choices``
+    inject memoized intermediates for the same vector partition
+    (engine hot path); ``choices`` are consumed.
     """
     base = s2d_heuristic(
-        a, x_part=x_part, y_part=y_part, nparts=nparts, w_lim=w_lim, epsilon=epsilon
+        a,
+        x_part=x_part,
+        y_part=y_part,
+        nparts=nparts,
+        w_lim=w_lim,
+        epsilon=epsilon,
+        block_structure=block_structure,
+        choices=choices,
     )
     m = base.matrix
     k = base.nparts
@@ -63,7 +75,9 @@ def s2d_heuristic_balanced(
 
     nnz_part = base.nnz_part.copy()
     loads = base.loads().astype(np.int64)
-    bs = BlockStructure(m.row, m.col, vectors.x_part, vectors.y_part, k)
+    bs = block_structure or BlockStructure(
+        m.row, m.col, vectors.x_part, vectors.y_part, k
+    )
 
     # Candidate (A3) moves: for each off-diagonal block, the nonzeros
     # still sitting on the row side after Algorithm 1.

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import PartitionError
 from repro.partition.types import SpMVPartition
+from repro.sparse.blocks import grouped_distinct_counts
 
 __all__ = [
     "CommStats",
@@ -91,20 +92,20 @@ def pairwise_volumes(p: SpMVPartition) -> dict[tuple[int, int], int]:
     k = p.nparts
     rp, cp, x_side, y_side = _admissible_sides(p)
     out: dict[tuple[int, int], int] = {}
-    # x words: sender cp, receiver rp, one word per distinct column.
-    if np.any(x_side):
-        keys = (cp[x_side] * k + rp[x_side]) * (m.shape[1] + 1) + m.col[x_side]
-        pair_keys = np.unique(keys) // (m.shape[1] + 1)
-        pairs, counts = np.unique(pair_keys, return_counts=True)
-        for pk, c in zip(pairs, counts):
-            out[(int(pk // k), int(pk % k))] = out.get((int(pk // k), int(pk % k)), 0) + int(c)
+    # x words: sender cp, receiver rp, one word per distinct column;
     # partial-y words: sender cp, receiver rp, one word per distinct row.
-    if np.any(y_side):
-        keys = (cp[y_side] * k + rp[y_side]) * (m.shape[0] + 1) + m.row[y_side]
-        pair_keys = np.unique(keys) // (m.shape[0] + 1)
-        pairs, counts = np.unique(pair_keys, return_counts=True)
-        for pk, c in zip(pairs, counts):
-            out[(int(pk // k), int(pk % k))] = out.get((int(pk // k), int(pk % k)), 0) + int(c)
+    for side, line, nlines in (
+        (x_side, m.col, m.shape[1]),
+        (y_side, m.row, m.shape[0]),
+    ):
+        if not np.any(side):
+            continue
+        pairs, counts = grouped_distinct_counts(
+            cp[side] * k + rp[side], line[side], nlines
+        )
+        for pk, c in zip(pairs.tolist(), counts.tolist()):
+            key = (pk // k, pk % k)
+            out[key] = out.get(key, 0) + c
     return out
 
 
@@ -126,15 +127,13 @@ def two_phase_comm_stats(p: SpMVPartition) -> tuple[CommStats, CommStats]:
 
     def _phase(src, dst, line, nlines):
         away = src != dst
-        keys = np.unique(
-            (src[away].astype(np.int64) * k + dst[away]) * (nlines + 1) + line[away]
+        pairs, counts = grouped_distinct_counts(
+            src[away].astype(np.int64) * k + dst[away], line[away], nlines
         )
-        pair = keys // (nlines + 1)
         sent_v = np.zeros(k, dtype=np.int64)
         recv_v = np.zeros(k, dtype=np.int64)
-        np.add.at(sent_v, pair // k, 1)
-        np.add.at(recv_v, pair % k, 1)
-        pairs = np.unique(pair)
+        np.add.at(sent_v, pairs // k, counts)
+        np.add.at(recv_v, pairs % k, counts)
         sent_m = np.zeros(k, dtype=np.int64)
         recv_m = np.zeros(k, dtype=np.int64)
         np.add.at(sent_m, pairs // k, 1)

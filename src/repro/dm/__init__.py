@@ -9,14 +9,21 @@ traffic.  This package implements the whole chain from scratch:
 - :mod:`repro.dm.matching` — Hopcroft–Karp maximum bipartite matching;
 - :mod:`repro.dm.decomposition` — the coarse (horizontal/square/
   vertical) decomposition built from alternating-path reachability,
-  plus König-theorem verification helpers.
+  plus König-theorem verification helpers;
+- :mod:`repro.dm.batch` — the batched driver running the coarse
+  decomposition over every block of a K×K block structure through
+  shared pre-sorted buffers (the s2D hot path).
 """
 
+from repro.dm.batch import BlockDM, batched_block_dm, legacy_block_dm
 from repro.dm.decomposition import CoarseDM, coarse_dm, minimum_cover_size
 from repro.dm.fine import FineDM, fine_dm
 from repro.dm.matching import hopcroft_karp, is_matching, matching_size
 
 __all__ = [
+    "BlockDM",
+    "batched_block_dm",
+    "legacy_block_dm",
     "CoarseDM",
     "coarse_dm",
     "minimum_cover_size",

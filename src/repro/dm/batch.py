@@ -1,0 +1,192 @@
+"""Batched coarse-DM driver over all blocks of a :class:`BlockStructure`.
+
+The s2D machinery needs the coarse DM decomposition of *every*
+nonempty off-diagonal block of the K×K structure.  The legacy path
+(:func:`legacy_block_dm`) re-slices the triplet arrays and re-runs
+``np.unique`` / ``argsort`` inside :func:`repro.dm.decomposition.coarse_dm`
+once per block.  The batched driver here performs all of that shared
+preprocessing in a handful of global sorted passes:
+
+- one ``np.unique`` over ``block·stride + row`` keys yields, for every
+  block at once, its sorted distinct row ids *and* the local row index
+  of every nonzero (ditto for columns);
+- one stable ``argsort`` of the same keys yields every block's
+  row-major CSR adjacency as a contiguous slice of a single buffer
+  (ditto for the column-side adjacency).
+
+Per block only the genuinely combinatorial part remains: Hopcroft–Karp
+on the precomputed adjacency views and the alternating-path labeling
+(:func:`repro.dm.decomposition.coarse_labels`).  Because each block's
+adjacency arrays are bit-identical to what the per-block path builds,
+the matchings, labels and H-masks are bit-identical too — the golden
+tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dm.decomposition import HORIZONTAL, CoarseDM, coarse_dm, coarse_labels
+from repro.dm.matching import hopcroft_karp
+from repro.sparse.blocks import BlockStructure
+
+__all__ = ["BlockDM", "batched_block_dm", "legacy_block_dm"]
+
+
+def _sorted_groups(keys: np.ndarray):
+    """One stable sort serving four derived views of ``keys``.
+
+    Returns ``(order, uniq, inverse, counts)`` — the stable sorting
+    permutation, the sorted distinct keys, each element's index into
+    ``uniq``, and the multiplicity of each distinct key.  Equivalent to
+    ``np.argsort(keys, kind="stable")`` plus ``np.unique(keys,
+    return_inverse=True, return_counts=True)``, but pays for a single
+    sort instead of two.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    n = sorted_keys.size
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new[1:])
+    uniq = sorted_keys[new]
+    starts = np.flatnonzero(new)
+    counts = np.diff(np.append(starts, n))
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.cumsum(new) - 1
+    return order, uniq, inverse, counts
+
+
+@dataclass(frozen=True)
+class BlockDM:
+    """Coarse DM decomposition of one block ``A_{ℓk}``.
+
+    ``nnz_idx`` are the block's nonzero indices into the canonical
+    triplet arrays (block-sorted order, identical to
+    ``BlockStructure.block_nnz_indices(ℓ, k)``); ``h_mask`` flags the
+    nonzeros of the horizontal sub-block ``H`` among them.
+    """
+
+    row_part: int
+    col_part: int
+    nnz_idx: np.ndarray
+    dm: CoarseDM
+    h_mask: np.ndarray
+
+    @property
+    def h_nnz(self) -> np.ndarray:
+        """Triplet indices of the ``H`` nonzeros (alternative A2 moves these)."""
+        return self.nnz_idx[self.h_mask]
+
+
+def batched_block_dm(
+    bs: BlockStructure, offdiagonal_only: bool = True
+) -> list[BlockDM]:
+    """Coarse DM of every nonempty (off-diagonal) block, batched.
+
+    Results are ordered by block key ``ℓ·K + k`` — the same order
+    :meth:`BlockStructure.nonempty_offdiagonal_blocks` yields.
+    """
+    stats = bs.block_stats()
+    if stats.nblocks == 0:
+        return []
+    order = bs.order
+    rows_s = bs.rows[order]
+    cols_s = bs.cols[order]
+    bid = np.repeat(bs.block_keys, stats.nnz)
+    nrows = np.int64(bs.nrows)
+    ncols = np.int64(bs.ncols)
+
+    # Distinct (block, row) pairs: kr is block-major, so the unique key
+    # array concatenates every block's sorted distinct rows, and the
+    # inverse gives each nonzero's global pair index.  The same stable
+    # sort also orders each block's edges row-major (it permutes only
+    # within block spans), yielding every block's adjacency as a slice.
+    kr = bid * nrows + rows_s
+    order_r, kr_u, r_pair_of_nnz, r_pair_counts = _sorted_groups(kr)
+    kc = bid * ncols + cols_s
+    order_c, kc_u, c_pair_of_nnz, c_pair_counts = _sorted_groups(kc)
+
+    row_off = np.zeros(stats.nblocks + 1, dtype=np.int64)
+    np.cumsum(stats.mhat, out=row_off[1:])
+    col_off = np.zeros(stats.nblocks + 1, dtype=np.int64)
+    np.cumsum(stats.nhat, out=col_off[1:])
+
+    blk_of_nnz = np.repeat(np.arange(stats.nblocks, dtype=np.int64), stats.nnz)
+    r_local = r_pair_of_nnz - row_off[blk_of_nnz]
+    c_local = c_pair_of_nnz - col_off[blk_of_nnz]
+
+    adj_all = c_local[order_r]
+    cadj_all = r_local[order_c]
+
+    results: list[BlockDM] = []
+    keys = stats.keys
+    indptr_all = stats.indptr
+    for i in range(stats.nblocks):
+        ell, kk = divmod(int(keys[i]), bs.nparts)
+        if offdiagonal_only and ell == kk:
+            continue
+        s, e = int(indptr_all[i]), int(indptr_all[i + 1])
+        nr = int(stats.mhat[i])
+        nc = int(stats.nhat[i])
+        indptr = np.zeros(nr + 1, dtype=np.int64)
+        np.cumsum(r_pair_counts[row_off[i] : row_off[i + 1]], out=indptr[1:])
+        cindptr = np.zeros(nc + 1, dtype=np.int64)
+        np.cumsum(c_pair_counts[col_off[i] : col_off[i + 1]], out=cindptr[1:])
+        adj = adj_all[s:e]
+        cadj = cadj_all[s:e]
+        match_row, match_col = hopcroft_karp(indptr, adj, nr, nc)
+        row_label, col_label = coarse_labels(
+            indptr, adj, cindptr, cadj, match_row, match_col
+        )
+        dm = CoarseDM(
+            row_ids=kr_u[row_off[i] : row_off[i + 1]] - keys[i] * nrows,
+            col_ids=kc_u[col_off[i] : col_off[i + 1]] - keys[i] * ncols,
+            row_label=row_label,
+            col_label=col_label,
+            matching_size=int(np.count_nonzero(match_row != -1)),
+        )
+        h_mask = col_label[c_local[s:e]] == HORIZONTAL
+        results.append(
+            BlockDM(
+                row_part=ell,
+                col_part=kk,
+                nnz_idx=order[s:e],
+                dm=dm,
+                h_mask=h_mask,
+            )
+        )
+    return results
+
+
+def legacy_block_dm(
+    bs: BlockStructure, offdiagonal_only: bool = True
+) -> list[BlockDM]:
+    """The original slice-per-block DM driver (golden reference).
+
+    Calls :func:`coarse_dm` on each block's freshly sliced triplets,
+    exactly as the seed's ``_block_choices`` did; used by equivalence
+    tests and the engine micro-benchmark, never on a hot path.
+    """
+    results: list[BlockDM] = []
+    k = bs.nparts
+    for key in bs.block_keys.tolist():
+        ell, kk = divmod(int(key), k)
+        if offdiagonal_only and ell == kk:
+            continue
+        idx = bs.block_nnz_indices(ell, kk)
+        rows = bs.rows[idx]
+        cols = bs.cols[idx]
+        dm = coarse_dm(rows, cols)
+        results.append(
+            BlockDM(
+                row_part=ell,
+                col_part=kk,
+                nnz_idx=idx,
+                dm=dm,
+                h_mask=dm.horizontal_nnz_mask(rows, cols),
+            )
+        )
+    return results

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.dm.matching import bipartite_adjacency, hopcroft_karp
 
-__all__ = ["CoarseDM", "coarse_dm", "minimum_cover_size"]
+__all__ = ["CoarseDM", "coarse_dm", "coarse_labels", "minimum_cover_size"]
 
 HORIZONTAL, SQUARE, VERTICAL = 0, 1, 2
 
@@ -99,25 +99,23 @@ class CoarseDM:
         return np.isin(np.asarray(cols), self.h_cols)
 
 
-def coarse_dm(rows: np.ndarray, cols: np.ndarray) -> CoarseDM:
-    """Coarse DM decomposition of the pattern ``{(rows[t], cols[t])}``.
+def coarse_labels(
+    indptr: np.ndarray,
+    adj: np.ndarray,
+    cindptr: np.ndarray,
+    cadj: np.ndarray,
+    match_row: np.ndarray,
+    match_col: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """H/S/V labels from a maximum matching and both adjacency views.
 
-    Only nonempty rows/columns participate (a fully empty row or column
-    belongs to no block — the paper's DM form explicitly separates the
-    zero bordering rows/columns).
+    The alternating-path reachability core shared by the per-block
+    :func:`coarse_dm` and the batched driver in :mod:`repro.dm.batch`
+    (which feeds it views over shared pre-sorted buffers).  Labels are
+    canonical: any maximum matching yields the same result.
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    cols = np.asarray(cols, dtype=np.int64)
-    row_ids, r = np.unique(rows, return_inverse=True)
-    col_ids, c = np.unique(cols, return_inverse=True)
-    nr, nc = row_ids.size, col_ids.size
-
-    indptr, adj = bipartite_adjacency(r, c, nr)
-    match_row, match_col = hopcroft_karp(indptr, adj, nr, nc)
-
-    # Column-side adjacency, needed for reachability from free columns.
-    cindptr, cadj = bipartite_adjacency(c, r, nc)
-
+    nr = match_row.size
+    nc = match_col.size
     row_label = np.full(nr, SQUARE, dtype=np.int8)
     col_label = np.full(nc, SQUARE, dtype=np.int8)
 
@@ -163,7 +161,31 @@ def coarse_dm(rows: np.ndarray, cols: np.ndarray) -> CoarseDM:
                 queue.append(w)
     row_label[row_seen_v] = VERTICAL
     col_label[col_seen_v] = VERTICAL
+    return row_label, col_label
 
+
+def coarse_dm(rows: np.ndarray, cols: np.ndarray) -> CoarseDM:
+    """Coarse DM decomposition of the pattern ``{(rows[t], cols[t])}``.
+
+    Only nonempty rows/columns participate (a fully empty row or column
+    belongs to no block — the paper's DM form explicitly separates the
+    zero bordering rows/columns).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    row_ids, r = np.unique(rows, return_inverse=True)
+    col_ids, c = np.unique(cols, return_inverse=True)
+    nr, nc = row_ids.size, col_ids.size
+
+    indptr, adj = bipartite_adjacency(r, c, nr)
+    match_row, match_col = hopcroft_karp(indptr, adj, nr, nc)
+
+    # Column-side adjacency, needed for reachability from free columns.
+    cindptr, cadj = bipartite_adjacency(c, r, nc)
+
+    row_label, col_label = coarse_labels(
+        indptr, adj, cindptr, cadj, match_row, match_col
+    )
     msize = int(np.count_nonzero(match_row != -1))
     return CoarseDM(
         row_ids=row_ids,

@@ -51,13 +51,36 @@ def hopcroft_karp(
     dist = np.empty(nrows, dtype=np.int64)
 
     # Greedy initialization: cheap and removes most augmentation work.
-    for u in range(nrows):
-        for p in range(indptr[u], indptr[u + 1]):
-            v = adj[p]
-            if match_col[v] == -1:
-                match_row[u] = v
-                match_col[v] = u
+    # Vectorized handshake: each round, every free column elects its
+    # first incident edge and every free row elects its first edge to a
+    # still-free column; mutually agreeing (row, column) pairs match.
+    # Any valid matching works here — Hopcroft–Karp augments the rest.
+    # Rounds are capped: on dense blocks contention can shrink progress
+    # to one pair per O(E) round, and the later rounds' stragglers are
+    # exactly what the augmentation phases handle well anyway.
+    nedges = int(adj.size)
+    if nedges:
+        edge_row = np.repeat(
+            np.arange(nrows, dtype=np.int64), np.diff(indptr).astype(np.int64)
+        )
+        edge_ids = np.arange(nedges, dtype=np.int64)
+        for _round in range(4):
+            live = (match_row[edge_row] == -1) & (match_col[adj] == -1)
+            eids = edge_ids[live]
+            if eids.size == 0:
                 break
+            # First live edge per column (first occurrence per unmatched
+            # column), then first winning edge per row.
+            col_first = np.full(ncols, nedges, dtype=np.int64)
+            np.minimum.at(col_first, adj[eids], eids)
+            winners = eids[col_first[adj[eids]] == eids]
+            row_first = np.full(nrows, nedges, dtype=np.int64)
+            np.minimum.at(row_first, edge_row[winners], winners)
+            agreed = winners[row_first[edge_row[winners]] == winners]
+            if agreed.size == 0:
+                break
+            match_row[edge_row[agreed]] = adj[agreed]
+            match_col[adj[agreed]] = edge_row[agreed]
 
     def bfs() -> bool:
         """Layered BFS from free rows; True if a free column is reachable."""

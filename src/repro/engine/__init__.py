@@ -1,0 +1,27 @@
+"""Unified partitioning pipeline.
+
+:class:`PartitionEngine` composes vector partitioning → nonzero
+partitioning → simulation/evaluation behind a single ``plan()`` call,
+memoizing every intermediate the methods share (canonical COO, block
+structure, batched block-DM results, simulated runs).  The method
+registry (:mod:`repro.engine.registry`) names every scheme the library
+implements; new backends register themselves with
+:func:`register_method`.
+"""
+
+from repro.engine.engine import PartitionEngine, Plan
+from repro.engine.registry import (
+    ALIASES,
+    available_methods,
+    register_method,
+    resolve_method,
+)
+
+__all__ = [
+    "PartitionEngine",
+    "Plan",
+    "ALIASES",
+    "available_methods",
+    "register_method",
+    "resolve_method",
+]

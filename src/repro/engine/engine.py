@@ -1,0 +1,272 @@
+"""The unified partitioning pipeline: :class:`PartitionEngine`.
+
+One engine wraps one matrix and memoizes every intermediate the
+partitioning methods share:
+
+- the canonical COO form (computed once, at construction);
+- hypergraph vector partitions, keyed by (method, K, partitioner
+  config) — an s2D plan and the 1D plan it refines share one
+  hypergraph run;
+- the :class:`~repro.sparse.blocks.BlockStructure` and the batched
+  block-DM results, keyed by the vector partition's content hash —
+  ``s2d-optimal``, ``s2d-heuristic`` and ``s2d-bounded`` on the same
+  vectors share one block-analytics pass;
+- simulated :class:`~repro.simulate.machine.SpMVRun` executions, keyed
+  by plan — re-pricing a run under a different machine model is free.
+
+``plan()`` itself is memoized, so a table experiment comparing five
+methods on one matrix touches the matrix's block structure exactly
+once.  Set ``cache=False`` to rebuild everything per call (the
+equivalence tests pin that both modes produce identical results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import astuple, dataclass, field
+
+import numpy as np
+
+from repro.dm.batch import BlockDM, batched_block_dm
+from repro.engine.registry import METHODS, resolve_method
+from repro.hypergraph import PartitionConfig
+from repro.partition.types import SpMVPartition, VectorPartition
+from repro.simulate.machine import MachineModel, SpMVRun
+from repro.simulate.report import PartitionQuality, run_partition, summarize
+from repro.sparse.blocks import BlockStructure
+from repro.sparse.coo import canonical_coo
+
+__all__ = ["PartitionEngine", "Plan"]
+
+
+@dataclass
+class Plan:
+    """One partitioning result produced by :meth:`PartitionEngine.plan`.
+
+    Holds the constructed :class:`SpMVPartition` plus enough context to
+    evaluate it lazily through the engine's run cache.
+    """
+
+    method: str
+    nparts: int
+    partition: SpMVPartition
+    engine: "PartitionEngine" = field(repr=False)
+    key: tuple = field(repr=False, default=())
+
+    @property
+    def kind(self) -> str:
+        return self.partition.kind
+
+    def quality(self, machine: MachineModel | None = None) -> PartitionQuality:
+        """Evaluate (simulate + summarise) through the engine's caches."""
+        return self.engine.evaluate(self, machine=machine)
+
+
+def _digest(*arrays: np.ndarray) -> bytes:
+    h = hashlib.sha1()
+    for arr in arrays:
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.digest()
+
+
+class PartitionEngine:
+    """Unified partition/evaluate pipeline over one matrix.
+
+    Parameters
+    ----------
+    a:
+        Anything :func:`repro.sparse.coo.canonical_coo` accepts.
+    seed, epsilon:
+        Defaults for partitioner configs created via :meth:`partitioner`
+        and for the s2D load tolerance.
+    machine:
+        Default cost model for :meth:`evaluate`.
+    cache:
+        When False, every call rebuilds its intermediates (results are
+        identical; only work is repeated).
+    """
+
+    def __init__(
+        self,
+        a,
+        *,
+        seed: int = 42,
+        epsilon: float = 0.03,
+        machine: MachineModel | None = None,
+        cache: bool = True,
+    ) -> None:
+        self._matrix = canonical_coo(a)
+        self.seed = seed
+        self.epsilon = epsilon
+        self.machine = machine or MachineModel()
+        self.cache_enabled = bool(cache)
+        self._store: dict = {}
+        self.cache_stats = {"hits": 0, "misses": 0}
+
+    # ------------------------------------------------------------------
+    # Memo substrate
+    # ------------------------------------------------------------------
+
+    @property
+    def matrix(self):
+        """The canonical COO matrix every method partitions."""
+        return self._matrix
+
+    def _memo(self, key: tuple, build):
+        if not self.cache_enabled:
+            return build()
+        if key in self._store:
+            self.cache_stats["hits"] += 1
+            return self._store[key]
+        self.cache_stats["misses"] += 1
+        value = build()
+        self._store[key] = value
+        return value
+
+    def clear_cache(self) -> None:
+        """Drop every memoized intermediate (the matrix stays)."""
+        self._store.clear()
+        self.cache_stats = {"hits": 0, "misses": 0}
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters plus the number of stored entries."""
+        return {**self.cache_stats, "entries": len(self._store)}
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def _config_key(config: PartitionConfig | None) -> tuple:
+        return ("default-config",) if config is None else astuple(config)
+
+    def _vectors_key(self, vectors: VectorPartition) -> tuple:
+        return (
+            "vectors",
+            vectors.nparts,
+            _digest(vectors.x_part, vectors.y_part),
+        )
+
+    def _opts_key(self, opts: dict) -> tuple:
+        items = []
+        for name in sorted(opts):
+            value = opts[name]
+            if isinstance(value, VectorPartition):
+                items.append((name, self._vectors_key(value)))
+            elif isinstance(value, SpMVPartition):
+                items.append(
+                    (name, (value.kind, value.nparts, _digest(value.nnz_part)))
+                )
+            elif isinstance(value, np.ndarray):
+                items.append((name, (value.shape, _digest(value))))
+            else:
+                items.append((name, value))
+        return tuple(items)
+
+    # ------------------------------------------------------------------
+    # Shared intermediates
+    # ------------------------------------------------------------------
+
+    def partitioner(self, seed_offset: int = 0) -> PartitionConfig:
+        """A deterministic partitioner config derived from the engine seed."""
+        return PartitionConfig(epsilon=self.epsilon, seed=self.seed + seed_offset)
+
+    def block_structure(self, vectors: VectorPartition) -> BlockStructure:
+        """Memoized K×K block structure under ``vectors``."""
+        key = ("block-structure", self._vectors_key(vectors))
+        return self._memo(
+            key,
+            lambda: BlockStructure(
+                self._matrix.row,
+                self._matrix.col,
+                vectors.x_part,
+                vectors.y_part,
+                vectors.nparts,
+            ),
+        )
+
+    def block_dm(self, vectors: VectorPartition) -> list[BlockDM]:
+        """Memoized batched coarse-DM results of all off-diagonal blocks."""
+        key = ("block-dm", self._vectors_key(vectors))
+        return self._memo(
+            key, lambda: batched_block_dm(self.block_structure(vectors))
+        )
+
+    # ------------------------------------------------------------------
+    # Planning and evaluation
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        method: str,
+        nparts: int,
+        *,
+        config: PartitionConfig | None = None,
+        **opts,
+    ) -> Plan:
+        """Build (or fetch) the partition of ``method`` at ``nparts``.
+
+        ``config`` seeds the hypergraph stage where the method has one;
+        omitted, it defaults to :meth:`partitioner` so the engine's
+        ``seed`` actually governs the result.  Method-specific options
+        (``w_lim``, ``shape``, ``vectors`` …) pass through ``opts`` and
+        participate in the memo key, as does the engine-level
+        ``epsilon`` default the s2D builders fall back to.
+        """
+        name = resolve_method(method)
+        if config is None:
+            config = self.partitioner()
+        key = (
+            "plan",
+            name,
+            int(nparts),
+            self._config_key(config),
+            self._opts_key(opts),
+            ("defaults", self.epsilon),
+        )
+
+        def build() -> Plan:
+            partition = METHODS[name](self, nparts, config, opts)
+            return Plan(
+                method=name,
+                nparts=int(nparts),
+                partition=partition,
+                engine=self,
+                key=key,
+            )
+
+        return self._memo(key, build)
+
+    def run(self, plan: Plan, x: np.ndarray | None = None) -> SpMVRun:
+        """Memoized simulated SpMV execution of a plan."""
+        xkey = ("run", plan.key, None if x is None else (x.shape, _digest(x)))
+        return self._memo(xkey, lambda: run_partition(plan.partition, x))
+
+    def evaluate(
+        self,
+        plan: Plan | SpMVPartition,
+        x: np.ndarray | None = None,
+        machine: MachineModel | None = None,
+    ) -> PartitionQuality:
+        """Quality summary of a plan (or raw partition) under ``machine``.
+
+        The expensive simulated run is cached per plan; summarising it
+        under a different machine model reuses the same run.
+        """
+        machine = machine or self.machine
+        if isinstance(plan, SpMVPartition):
+            return summarize(plan, run_partition(plan, x), machine)
+        return summarize(plan.partition, self.run(plan, x), machine)
+
+    def compare(
+        self,
+        methods,
+        nparts: int,
+        *,
+        config: PartitionConfig | None = None,
+        machine: MachineModel | None = None,
+        **opts,
+    ) -> dict[str, PartitionQuality]:
+        """Plan and evaluate several methods on the shared intermediates."""
+        return {
+            m: self.plan(m, nparts, config=config, **opts).quality(machine)
+            for m in methods
+        }

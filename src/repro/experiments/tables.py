@@ -4,29 +4,23 @@ Every ``run_table*`` function returns a :class:`TableResult` holding
 both the formatted text (printed by the benchmark harness) and the raw
 per-instance records (consumed by tests and EXPERIMENTS.md).  Matrix
 names match the paper so rows line up side by side.
+
+All quantitative tables drive one :class:`repro.engine.PartitionEngine`
+per matrix, so the schemes compared side by side share their vector
+partitions, block structures and batched block-DM analytics instead of
+recomputing them per method — e.g. Table II's s2D column reuses the 1D
+column's hypergraph run and one block-analytics pass per (matrix, K).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core import (
-    make_s2d_bounded,
-    partition_s2d_medium_grain,
-    s2d_heuristic,
-)
+from repro.engine import PartitionEngine
 from repro.experiments.config import ExperimentConfig
 from repro.generators.suite import SuiteMatrix, table1_suite, table4_suite
 from repro.metrics import format_li, format_table, geomean
-from repro.partition import (
-    partition_1d_boman,
-    partition_1d_rowwise,
-    partition_2d_finegrain,
-    partition_checkerboard,
-)
-from repro.simulate import PartitionQuality, evaluate
+from repro.simulate import PartitionQuality
 
 __all__ = [
     "TableResult",
@@ -98,8 +92,9 @@ def run_table4(cfg: ExperimentConfig | None = None) -> TableResult:
 # ----------------------------------------------------------------------
 
 
-def _q(p, cfg) -> PartitionQuality:
-    return evaluate(p, machine=cfg.machine)
+def _engine(a, cfg: ExperimentConfig) -> PartitionEngine:
+    """One engine per matrix: every scheme below shares its caches."""
+    return PartitionEngine(a, seed=cfg.seed, machine=cfg.machine)
 
 
 def run_table2(
@@ -117,16 +112,13 @@ def run_table2(
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for idx, sm in enumerate(table1_suite(cfg.scale)):
-        a = sm.matrix()
+        eng = _engine(sm.matrix(), cfg)
         for k in ks:
-            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
-            q1 = _q(p1, cfg)
-            p2 = partition_2d_finegrain(a, k, cfg.partitioner(idx * 10 + 1))
-            q2 = _q(p2, cfg)
-            ps = s2d_heuristic(
-                a, x_part=p1.vectors, nparts=k  # reuse 1D's vector partition
-            )
-            qs = _q(ps, cfg)
+            q1 = eng.plan("1d-rowwise", k, config=cfg.partitioner(idx * 10)).quality()
+            q2 = eng.plan("finegrain", k, config=cfg.partitioner(idx * 10 + 1)).quality()
+            # Same config key as the 1D plan → s2D refines 1D's cached
+            # vector partition, as in the paper's setup.
+            qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
             rec = {
                 "name": sm.name, "K": k,
                 "1D": q1, "2D": q2, "s2D": qs,
@@ -193,15 +185,11 @@ def run_table3(
     ]
     rows, records = [], []
     for idx, sm in enumerate(table1_suite(cfg.scale)):
-        a = sm.matrix()
-        p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
-        q1 = _q(p1, cfg)
-        p2 = partition_2d_finegrain(a, k, cfg.partitioner(idx * 10 + 1))
-        q2 = _q(p2, cfg)
-        ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
-        qs = _q(ps, cfg)
-        pb = partition_checkerboard(a, k, cfg.partitioner(idx * 10 + 2))
-        qb = _q(pb, cfg)
+        eng = _engine(sm.matrix(), cfg)
+        q1 = eng.plan("1d-rowwise", k, config=cfg.partitioner(idx * 10)).quality()
+        q2 = eng.plan("finegrain", k, config=cfg.partitioner(idx * 10 + 1)).quality()
+        qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
+        qb = eng.plan("checkerboard", k, config=cfg.partitioner(idx * 10 + 2)).quality()
         best_name, best_q = max(
             (("1D", q1), ("2D", q2), ("s2D", qs)), key=lambda t: t[1].speedup
         )
@@ -256,14 +244,13 @@ def run_table5(
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for idx, sm in enumerate(table4_suite(cfg.scale)):
-        a = sm.matrix()
+        eng = _engine(sm.matrix(), cfg)
         for k in ks:
-            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
-            q1 = _q(p1, cfg)
-            ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
-            qs = _q(ps, cfg)
-            pb = make_s2d_bounded(ps)
-            qb = _q(pb, cfg)
+            q1 = eng.plan("1d-rowwise", k, config=cfg.partitioner(idx * 10)).quality()
+            qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
+            # s2D-b shares the cached s2D plan: same nonzero partition,
+            # mesh-routed schedule.
+            qb = eng.plan("s2d-bounded", k, config=cfg.partitioner(idx * 10)).quality()
             rec = {
                 "name": sm.name, "K": k, "1D": q1, "s2D": qs, "s2D-b": qb,
                 "lam_s2d": qs.total_volume / q1.total_volume,
@@ -325,16 +312,12 @@ def run_table6(
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for idx, sm in enumerate(table4_suite(cfg.scale)):
-        a = sm.matrix()
+        eng = _engine(sm.matrix(), cfg)
         for k in ks:
-            pcb = partition_checkerboard(a, k, cfg.partitioner(idx * 10 + 2))
-            qcb = _q(pcb, cfg)
-            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
-            p1b = partition_1d_boman(a, k, base=p1)
-            q1b = _q(p1b, cfg)
-            ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
-            psb = make_s2d_bounded(ps)
-            qsb = _q(psb, cfg)
+            qcb = eng.plan("checkerboard", k, config=cfg.partitioner(idx * 10 + 2)).quality()
+            # 1D-b and s2D-b both route the cached 1D vector partition.
+            q1b = eng.plan("1d-boman", k, config=cfg.partitioner(idx * 10)).quality()
+            qsb = eng.plan("s2d-bounded", k, config=cfg.partitioner(idx * 10)).quality()
             rec = {
                 "name": sm.name, "K": k,
                 "2D-b": qcb, "1D-b": q1b, "s2D-b": qsb,
@@ -391,13 +374,10 @@ def run_table7(
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for idx, sm in enumerate(table4_suite(cfg.scale)):
-        a = sm.matrix()
+        eng = _engine(sm.matrix(), cfg)
         for k in ks:
-            pmg = partition_s2d_medium_grain(a, k, cfg.partitioner(idx * 10 + 3))
-            qmg = _q(pmg, cfg)
-            p1 = partition_1d_rowwise(a, k, cfg.partitioner(idx * 10))
-            ps = s2d_heuristic(a, x_part=p1.vectors, nparts=k)
-            qs = _q(ps, cfg)
+            qmg = eng.plan("medium-grain", k, config=cfg.partitioner(idx * 10 + 3)).quality()
+            qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
             rec = {
                 "name": sm.name, "K": k, "mg": qmg, "s2D": qs,
                 "lam_ratio": qs.total_volume / max(qmg.total_volume, 1),

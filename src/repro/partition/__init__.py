@@ -15,6 +15,10 @@ The baseline schemes of the paper's experimental section:
   of a 1D partition onto a virtual processor mesh.
 
 The s2D schemes (the paper's contribution) live in :mod:`repro.core`.
+Every scheme here is also registered with the unified
+:class:`repro.engine.PartitionEngine` pipeline, which memoizes the
+intermediates schemes share; prefer ``PartitionEngine(a).plan(name, k)``
+when running several schemes on one matrix.
 """
 
 from repro.partition.boman import partition_1d_boman
@@ -30,7 +34,23 @@ from repro.partition.oned import (
 from repro.partition.types import SpMVPartition, VectorPartition
 from repro.partition.vector import conformal_x_partition, symmetric_vector_partition
 
+
+def plan(a, method: str, nparts: int, **kwargs) -> "SpMVPartition":
+    """One-shot engine plan: build ``method`` on ``a`` at ``nparts``.
+
+    Convenience for scripts that want a single partition; when running
+    several methods on one matrix, construct a
+    :class:`repro.engine.PartitionEngine` directly so the shared
+    intermediates are reused.  (Imported lazily to keep the package
+    import graph acyclic.)
+    """
+    from repro.engine import PartitionEngine
+
+    return PartitionEngine(a).plan(method, nparts, **kwargs).partition
+
+
 __all__ = [
+    "plan",
     "SpMVPartition",
     "VectorPartition",
     "partition_1d_rowwise",

@@ -1,9 +1,13 @@
 """One-call evaluation of a partition: the numbers the paper tabulates.
 
-:func:`evaluate` picks the right executor for the partition kind, runs
-the simulated SpMV, and summarises load imbalance (LI%), total volume,
+:func:`run_partition` picks the right executor for the partition kind
+and runs the simulated SpMV; :func:`summarize` prices a finished run
+under a machine model, producing load imbalance (LI%), total volume,
 average/maximum messages per processor, and the model speedup — the
-exact column set of Tables II through VII.
+exact column set of Tables II through VII.  :func:`evaluate` composes
+the two; the :class:`repro.engine.PartitionEngine` calls them
+separately so one cached run can be re-priced under many machine
+models.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from repro.simulate.machine import MachineModel, SpMVRun
 from repro.simulate.singlephase import run_single_phase
 from repro.simulate.twophase import run_two_phase
 
-__all__ = ["PartitionQuality", "evaluate", "EXECUTORS"]
+__all__ = ["PartitionQuality", "evaluate", "run_partition", "summarize", "EXECUTORS"]
 
 # Partition kind → executor choice.  The single-phase executor covers
 # everything s2D-admissible (the paper's point: 1D is a special case);
@@ -63,25 +67,25 @@ class PartitionQuality:
         return f"{self.li_percent:.1f}%"
 
 
-def evaluate(
-    p: SpMVPartition,
-    x: np.ndarray | None = None,
-    machine: MachineModel | None = None,
-) -> PartitionQuality:
-    """Run the right SpMV executor on ``p`` and summarise its quality."""
-    machine = machine or MachineModel()
+def run_partition(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
+    """Execute the simulated SpMV with the executor matching ``p.kind``."""
     mode = EXECUTORS.get(p.kind)
     if mode is None:
         mode = "single" if p.is_s2d_admissible() else "two"
     if mode == "single":
-        run = run_single_phase(p, x)
-    elif mode == "routed":
-        run = run_s2d_bounded(p, x)
-    elif mode == "two":
-        run = run_two_phase(p, x)
-    else:  # pragma: no cover - defensive
-        raise SimulationError(f"unknown executor mode {mode!r}")
+        return run_single_phase(p, x)
+    if mode == "routed":
+        return run_s2d_bounded(p, x)
+    if mode == "two":
+        return run_two_phase(p, x)
+    raise SimulationError(f"unknown executor mode {mode!r}")  # pragma: no cover
 
+
+def summarize(
+    p: SpMVPartition, run: SpMVRun, machine: MachineModel | None = None
+) -> PartitionQuality:
+    """Price a finished run under ``machine`` and tabulate its quality."""
+    machine = machine or MachineModel()
     sent = run.ledger.sent_msgs()
     return PartitionQuality(
         kind=p.kind,
@@ -94,3 +98,12 @@ def evaluate(
         time=run.time(machine),
         run=run,
     )
+
+
+def evaluate(
+    p: SpMVPartition,
+    x: np.ndarray | None = None,
+    machine: MachineModel | None = None,
+) -> PartitionQuality:
+    """Run the right SpMV executor on ``p`` and summarise its quality."""
+    return summarize(p, run_partition(p, x), machine)

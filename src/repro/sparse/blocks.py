@@ -10,6 +10,18 @@ nonzeros of ``A`` fall into a K×K logical block structure
 which off-diagonal blocks are nonempty, the number of nonempty rows
 ``m̂`` and columns ``n̂`` of each block, the nonzero membership of each
 block — is computed here once, vectorised, and reused.
+
+Two access styles coexist:
+
+- the **batched kernel**: :meth:`BlockStructure.block_stats` computes
+  nnz, ``n̂`` and ``m̂`` for *every* nonempty block in one sort-based
+  pass (:class:`BlockStats`); this is the hot path every higher layer
+  (s2D, DM batching, volume bookkeeping, the engine) builds on;
+- the **per-block accessors** (``block_nnz_indices``, ``nhat`` …):
+  convenience views over the same pre-sorted buffers, kept for tests
+  and exploratory use.  :func:`legacy_block_stats` preserves the
+  original one-``np.unique``-per-block computation as the golden
+  reference the batched kernel is pinned against.
 """
 
 from __future__ import annotations
@@ -17,11 +29,106 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.errors import PartitionError
 from repro.sparse.coo import coo_triplets
 
-__all__ = ["BlockStructure"]
+__all__ = [
+    "BlockStructure",
+    "BlockStats",
+    "grouped_distinct_counts",
+    "legacy_block_stats",
+]
+
+
+def grouped_distinct_counts(
+    group: np.ndarray, values: np.ndarray, nvalues: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct-``values`` count per distinct ``group`` id, in one pass.
+
+    The shared counting kernel of the analytics layer: encode each
+    ``(group, value)`` pair as ``group * (nvalues + 1) + value``,
+    deduplicate once, and histogram the surviving pairs by group.
+    Returns ``(groups, counts)`` with ``groups`` sorted ascending;
+    groups with no pairs do not appear.
+    """
+    group = np.asarray(group, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    stride = np.int64(nvalues) + 1
+    pairs = np.unique(group * stride + values)
+    # ``pairs`` is sorted, so the group column is nondecreasing: count
+    # runs with a boundary scan instead of a second sort.
+    if pairs.size == 0:
+        return pairs, pairs.copy()
+    pair_groups = pairs // stride
+    boundary = np.flatnonzero(pair_groups[1:] != pair_groups[:-1]) + 1
+    starts = np.concatenate(([0], boundary, [pair_groups.size]))
+    return pair_groups[starts[:-1]], np.diff(starts)
+
+
+def _key_position(keys: np.ndarray, nparts: int, row_block: int, col_block: int) -> int:
+    """Position of block ``(ℓ, k)`` in a sorted block-key array, or −1."""
+    key = row_block * nparts + col_block
+    pos = int(np.searchsorted(keys, key))
+    if pos < keys.size and keys[pos] == key:
+        return pos
+    return -1
+
+
+@dataclass(frozen=True)
+class BlockStats:
+    """Batched per-block statistics of a K×K block structure.
+
+    Arrays are aligned: entry ``i`` describes the block with key
+    ``keys[i] = ℓ·K + k``.  Only nonempty blocks appear, sorted by key
+    (row-block major).  ``indptr`` spans index the *block-sorted*
+    nonzero order of the owning :class:`BlockStructure`.
+    """
+
+    nparts: int
+    keys: np.ndarray
+    indptr: np.ndarray
+    nnz: np.ndarray
+    nhat: np.ndarray
+    mhat: np.ndarray
+
+    @property
+    def nblocks(self) -> int:
+        """Number of nonempty blocks."""
+        return int(self.keys.size)
+
+    @property
+    def row_blocks(self) -> np.ndarray:
+        """Row-block index ``ℓ`` of each nonempty block."""
+        return self.keys // self.nparts
+
+    @property
+    def col_blocks(self) -> np.ndarray:
+        """Column-block index ``k`` of each nonempty block."""
+        return self.keys % self.nparts
+
+    @property
+    def offdiagonal_mask(self) -> np.ndarray:
+        """Boolean mask over the nonempty blocks selecting ``ℓ ≠ k``."""
+        return self.row_blocks != self.col_blocks
+
+    def index_of(self, row_block: int, col_block: int) -> int:
+        """Position of block ``(ℓ, k)`` in the stats arrays, or −1."""
+        return _key_position(self.keys, self.nparts, row_block, col_block)
+
+    def _field_of(self, arr: np.ndarray, row_block: int, col_block: int) -> int:
+        pos = self.index_of(row_block, col_block)
+        return int(arr[pos]) if pos >= 0 else 0
+
+    def nnz_of(self, row_block: int, col_block: int) -> int:
+        return self._field_of(self.nnz, row_block, col_block)
+
+    def nhat_of(self, row_block: int, col_block: int) -> int:
+        return self._field_of(self.nhat, row_block, col_block)
+
+    def mhat_of(self, row_block: int, col_block: int) -> int:
+        return self._field_of(self.mhat, row_block, col_block)
 
 
 @dataclass
@@ -47,6 +154,13 @@ class BlockStructure:
     row_part_of_nnz, col_part_of_nnz:
         Per-nonzero owner of the row side (``π(y_i)``) and the column
         side (``π(x_j)``).
+    order:
+        Stable permutation sorting the triplets by block key
+        ``ℓ·K + k``; every batched kernel slices this one buffer.
+    block_keys, block_indptr:
+        CSR-style span table over ``order``: the nonzeros of the block
+        with key ``block_keys[i]`` occupy
+        ``order[block_indptr[i]:block_indptr[i+1]]``.
     """
 
     rows: np.ndarray
@@ -56,9 +170,11 @@ class BlockStructure:
     nparts: int
     row_part_of_nnz: np.ndarray = field(init=False)
     col_part_of_nnz: np.ndarray = field(init=False)
-    _order: np.ndarray = field(init=False, repr=False)
+    order: np.ndarray = field(init=False, repr=False)
+    block_keys: np.ndarray = field(init=False, repr=False)
+    block_indptr: np.ndarray = field(init=False, repr=False)
     _block_ids_sorted: np.ndarray = field(init=False, repr=False)
-    _block_starts: dict = field(init=False, repr=False)
+    _stats: BlockStats | None = field(init=False, repr=False, default=None)
 
     @classmethod
     def from_matrix(cls, a, x_part, y_part, nparts: int) -> "BlockStructure":
@@ -85,13 +201,13 @@ class BlockStructure:
         self.row_part_of_nnz = self.y_part[self.rows]
         self.col_part_of_nnz = self.x_part[self.cols]
         block_ids = self.row_part_of_nnz * k + self.col_part_of_nnz
-        self._order = np.argsort(block_ids, kind="stable")
-        self._block_ids_sorted = block_ids[self._order]
-        uniq, starts = np.unique(self._block_ids_sorted, return_index=True)
-        ends = np.append(starts[1:], self._block_ids_sorted.size)
-        self._block_starts = {
-            int(b): (int(s), int(e)) for b, s, e in zip(uniq, starts, ends)
-        }
+        self.order = np.argsort(block_ids, kind="stable")
+        self._block_ids_sorted = block_ids[self.order]
+        self.block_keys, starts = np.unique(self._block_ids_sorted, return_index=True)
+        self.block_indptr = np.append(starts, self._block_ids_sorted.size).astype(
+            np.int64
+        )
+        self._stats = None
 
     # ------------------------------------------------------------------
     # Block membership
@@ -102,15 +218,26 @@ class BlockStructure:
         """Total number of nonzeros."""
         return int(self.rows.size)
 
+    @property
+    def nrows(self) -> int:
+        """Number of matrix rows (= length of ``y_part``)."""
+        return int(self.y_part.size)
+
+    @property
+    def ncols(self) -> int:
+        """Number of matrix columns (= length of ``x_part``)."""
+        return int(self.x_part.size)
+
+    def _block_pos(self, row_block: int, col_block: int) -> int:
+        return _key_position(self.block_keys, self.nparts, row_block, col_block)
+
     def block_nnz_indices(self, row_block: int, col_block: int) -> np.ndarray:
         """Indices (into the canonical triplet arrays) of nonzeros in block
         ``A_{row_block, col_block}``.  Empty array if the block is empty."""
-        key = row_block * self.nparts + col_block
-        span = self._block_starts.get(key)
-        if span is None:
+        pos = self._block_pos(row_block, col_block)
+        if pos < 0:
             return np.empty(0, dtype=np.int64)
-        s, e = span
-        return self._order[s:e]
+        return self.order[self.block_indptr[pos] : self.block_indptr[pos + 1]]
 
     def nonempty_offdiagonal_blocks(self) -> list[tuple[int, int]]:
         """All ``(ℓ, k)`` with ``ℓ != k`` and ``A_{ℓk}`` nonempty.
@@ -120,12 +247,10 @@ class BlockStructure:
         vector partition) — first observation of Section III.
         """
         k = self.nparts
-        out = []
-        for key in self._block_starts:
-            ell, kk = divmod(key, k)
-            if ell != kk:
-                out.append((ell, kk))
-        return out
+        ell = self.block_keys // k
+        kk = self.block_keys % k
+        off = ell != kk
+        return list(zip(ell[off].tolist(), kk[off].tolist()))
 
     def block_nnz_count(self, row_block: int, col_block: int) -> int:
         """Number of nonzeros of block ``A_{row_block, col_block}``."""
@@ -134,6 +259,45 @@ class BlockStructure:
     # ------------------------------------------------------------------
     # n̂ / m̂ statistics (eq. 3 ingredients)
     # ------------------------------------------------------------------
+
+    def block_stats(self) -> BlockStats:
+        """Batched nnz / ``n̂`` / ``m̂`` of every nonempty block.
+
+        One linear incidence pass over all nonzeros replaces the
+        per-block ``np.unique`` calls of the legacy path; the result is
+        cached on the structure (it is immutable once built).
+        """
+        if self._stats is None:
+            nnz = np.diff(self.block_indptr)
+            nblocks = int(self.block_keys.size)
+            # Dense block index per nonzero (blocks are contiguous in the
+            # sorted order), then a linear COO→CSR incidence pass per
+            # axis: duplicate (block, line) pairs collapse, so the CSR
+            # row lengths are exactly the distinct-line counts.  This is
+            # bucket placement, not a comparison sort — O(nnz + K²).
+            blk = np.repeat(np.arange(nblocks, dtype=np.int64), nnz)
+            ones = np.ones(blk.size, dtype=np.int32)
+            ncounts = np.diff(
+                sp.csr_matrix(
+                    (ones, (blk, self.cols[self.order])),
+                    shape=(max(nblocks, 1), max(self.ncols, 1)),
+                ).indptr
+            )[:nblocks]
+            mcounts = np.diff(
+                sp.csr_matrix(
+                    (ones, (blk, self.rows[self.order])),
+                    shape=(max(nblocks, 1), max(self.nrows, 1)),
+                ).indptr
+            )[:nblocks]
+            self._stats = BlockStats(
+                nparts=self.nparts,
+                keys=self.block_keys,
+                indptr=self.block_indptr,
+                nnz=nnz.astype(np.int64),
+                nhat=ncounts.astype(np.int64),
+                mhat=mcounts.astype(np.int64),
+            )
+        return self._stats
 
     def block_nonempty_cols(self, row_block: int, col_block: int) -> np.ndarray:
         """Distinct column indices with a nonzero in the block (``n̂`` set)."""
@@ -147,11 +311,11 @@ class BlockStructure:
 
     def nhat(self, row_block: int, col_block: int) -> int:
         """``n̂(A_{ℓk})``: number of nonempty columns of the block."""
-        return int(self.block_nonempty_cols(row_block, col_block).size)
+        return self.block_stats().nhat_of(row_block, col_block)
 
     def mhat(self, row_block: int, col_block: int) -> int:
         """``m̂(A_{ℓk})``: number of nonempty rows of the block."""
-        return int(self.block_nonempty_rows(row_block, col_block).size)
+        return self.block_stats().mhat_of(row_block, col_block)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -165,10 +329,8 @@ class BlockStructure:
         for every nonempty column of ``A_{ℓk}``; the total volume is
         ``Σ_{ℓ≠k} n̂(A_{ℓk})``.
         """
-        total = 0
-        for ell, kk in self.nonempty_offdiagonal_blocks():
-            total += self.nhat(ell, kk)
-        return total
+        st = self.block_stats()
+        return int(st.nhat[st.offdiagonal_mask].sum())
 
     def diagonal_loads(self) -> np.ndarray:
         """Per-processor nonzero counts of the diagonal blocks ``A_kk``."""
@@ -189,3 +351,29 @@ class BlockStructure:
         loads = np.zeros(self.nparts, dtype=np.int64)
         np.add.at(loads, self.col_part_of_nnz, 1)
         return loads
+
+
+def legacy_block_stats(bs: BlockStructure) -> BlockStats:
+    """The original per-block computation of :meth:`BlockStructure.block_stats`.
+
+    One ``np.unique`` per block per statistic, exactly as the seed code
+    did it.  Kept as the golden reference for the equivalence tests and
+    as the baseline of ``benchmarks/bench_engine.py``; never used on a
+    hot path.
+    """
+    nnz, nhat, mhat = [], [], []
+    k = bs.nparts
+    for key in bs.block_keys.tolist():
+        ell, kk = divmod(int(key), k)
+        idx = bs.block_nnz_indices(ell, kk)
+        nnz.append(idx.size)
+        nhat.append(np.unique(bs.cols[idx]).size)
+        mhat.append(np.unique(bs.rows[idx]).size)
+    return BlockStats(
+        nparts=k,
+        keys=bs.block_keys.copy(),
+        indptr=bs.block_indptr.copy(),
+        nnz=np.asarray(nnz, dtype=np.int64),
+        nhat=np.asarray(nhat, dtype=np.int64),
+        mhat=np.asarray(mhat, dtype=np.int64),
+    )

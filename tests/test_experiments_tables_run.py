@@ -2,7 +2,10 @@
 
 The benchmarks run these at full scale; here the smallest instance
 exercises the full record plumbing so harness regressions surface in
-the unit suite, not only after a long bench run.
+the unit suite, not only after a long bench run.  The Table V case
+stays in the fast tier (it covers the engine-rewired tables including
+the s2D/s2D-b plan sharing); the slower Table III/VII cases carry the
+``slow`` marker.
 """
 
 import pytest
@@ -27,6 +30,7 @@ def test_run_table5_records(cfg):
     assert "geomean" in res.text
 
 
+@pytest.mark.slow
 def test_run_table3_best_selection(cfg):
     res = run_table3(cfg, k=4)
     for rec in res.records:
@@ -36,6 +40,7 @@ def test_run_table3_best_selection(cfg):
     assert len(res.rows) == 9  # 8 matrices + geomean
 
 
+@pytest.mark.slow
 def test_run_table7_admissibility(cfg):
     res = run_table7(cfg, ks=(4,))
     for rec in res.records:
