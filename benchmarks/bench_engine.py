@@ -42,14 +42,16 @@ def _best_of(repeats, fn, *, reset=None):
     return best
 
 
-def run(out_path: pathlib.Path = DEFAULT_OUT) -> dict:
+def run(out_path: pathlib.Path = DEFAULT_OUT, *, quick: bool = False) -> dict:
     from repro.dm.batch import batched_block_dm, legacy_block_dm
     from repro.engine import PartitionEngine
     from repro.generators.rmat import rmat
     from repro.sparse.blocks import BlockStructure, legacy_block_stats
 
-    a = rmat(RMAT_SCALE, edge_factor=EDGE_FACTOR, seed=99)
-    assert a.nnz >= MIN_NNZ, f"R-MAT instance too small: {a.nnz} nnz"
+    scale = 9 if quick else RMAT_SCALE
+    min_nnz = 1 if quick else MIN_NNZ
+    a = rmat(scale, edge_factor=EDGE_FACTOR, seed=99)
+    assert a.nnz >= min_nnz, f"R-MAT instance too small: {a.nnz} nnz"
     n = a.shape[0]
     # Contiguous block vector partition: deterministic and cheap, so the
     # timings isolate the analytics, not the hypergraph partitioner.
@@ -82,7 +84,7 @@ def run(out_path: pathlib.Path = DEFAULT_OUT) -> dict:
     result = {
         "matrix": {
             "generator": "rmat",
-            "scale": RMAT_SCALE,
+            "scale": scale,
             "edge_factor": EDGE_FACTOR,
             "n": int(n),
             "nnz": int(a.nnz),

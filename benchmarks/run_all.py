@@ -1,0 +1,73 @@
+"""Regenerate every ``BENCH_*.json`` artifact in one shot.
+
+Drives the JSON-emitting benchmark modules (currently
+``bench_engine`` and ``bench_partitioner``) and prints a one-line
+summary per artifact.  ``--quick`` runs every benchmark at tiny scale
+(seconds, not minutes) — the same entry point the slow-marked pytest
+smoke test uses, so the bench scripts cannot rot unnoticed.
+
+::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--quick] [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_engine  # noqa: E402
+import bench_partitioner  # noqa: E402
+
+#: (module, artifact filename, headline extractor)
+BENCHMARKS = [
+    (
+        bench_engine,
+        "BENCH_engine.json",
+        lambda r: f"block-stats speedup {r['block_stats']['speedup']:.1f}x",
+    ),
+    (
+        bench_partitioner,
+        "BENCH_partitioner.json",
+        lambda r: (
+            f"partitioner speedup {r['acceptance']['speedup']:.1f}x "
+            f"(quality max ratio {r['quality_suite']['max_ratio']:.3f})"
+        ),
+    ),
+]
+
+
+def run_all(out_dir: pathlib.Path = REPO_ROOT, *, quick: bool = False) -> dict:
+    """Run every benchmark; returns ``{artifact name: result dict}``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    results = {}
+    for module, artifact, headline in BENCHMARKS:
+        out_path = out_dir / artifact
+        t0 = time.perf_counter()
+        result = module.run(out_path, quick=quick)
+        elapsed = time.perf_counter() - t0
+        results[artifact] = result
+        print(f"{artifact:28s} {elapsed:7.1f}s  {headline(result)}")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="tiny-scale smoke run")
+    ap.add_argument(
+        "--out-dir", type=pathlib.Path, default=REPO_ROOT,
+        help="directory receiving the BENCH_*.json artifacts",
+    )
+    args = ap.parse_args(argv)
+    run_all(args.out_dir, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

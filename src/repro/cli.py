@@ -92,6 +92,10 @@ def main(argv: list[str] | None = None) -> int:
     p_part.add_argument("--scheme", choices=_SCHEMES, default="s2d")
     p_part.add_argument("--k", type=int, default=16)
     p_part.add_argument("--scale", choices=SCALES, default="small")
+    p_part.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage partitioner timings (coarsen/initial/refine/kway)",
+    )
 
     args = ap.parse_args(argv)
 
@@ -132,7 +136,11 @@ def main(argv: list[str] | None = None) -> int:
         a = read_matrix_market(args.mtx) if args.mtx else _find_matrix(args.matrix, args.scale)
         props = matrix_properties(a, name=args.matrix or args.mtx)
         print(props.table_row())
-        plan = _engine(a, cfg).plan(args.scheme, args.k, config=cfg.partitioner())
+        plan = _engine(a, cfg).plan(
+            args.scheme, args.k, config=cfg.partitioner(), profile=args.profile
+        )
+        if args.profile and plan.profile is not None:
+            print(plan.profile.stage_table())
         q = plan.quality()
         print(
             f"scheme={plan.kind} K={q.nparts} LI={q.format_li()} "

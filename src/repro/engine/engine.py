@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.dm.batch import BlockDM, batched_block_dm
 from repro.engine.registry import METHODS, resolve_method
-from repro.hypergraph import PartitionConfig
+from repro.hypergraph import PartitionConfig, PartitionProfile
+from repro.hypergraph import profiling as hg_profiling
 from repro.partition.types import SpMVPartition, VectorPartition
 from repro.simulate.machine import MachineModel, SpMVRun
 from repro.simulate.report import PartitionQuality, run_partition, summarize
@@ -52,6 +53,8 @@ class Plan:
     partition: SpMVPartition
     engine: "PartitionEngine" = field(repr=False)
     key: tuple = field(repr=False, default=())
+    profile: PartitionProfile | None = field(repr=False, default=None)
+    """Per-stage partitioner timings; populated by ``plan(profile=True)``."""
 
     @property
     def kind(self) -> str:
@@ -200,6 +203,7 @@ class PartitionEngine:
         nparts: int,
         *,
         config: PartitionConfig | None = None,
+        profile: bool = False,
         **opts,
     ) -> Plan:
         """Build (or fetch) the partition of ``method`` at ``nparts``.
@@ -210,6 +214,15 @@ class PartitionEngine:
         (``w_lim``, ``shape``, ``vectors`` …) pass through ``opts`` and
         participate in the memo key, as does the engine-level
         ``epsilon`` default the s2D builders fall back to.
+
+        With ``profile=True`` the returned plan carries a
+        :class:`~repro.hypergraph.PartitionProfile` with per-stage
+        wall-clock timings of every ``partition_kway`` run during the
+        build (nested method builders included).  Profiled plans are
+        memoized separately, so a cached unprofiled plan never masks
+        the timing request — note that intermediates already in the
+        engine cache (e.g. a shared 1D vector partition) are *not*
+        rebuilt, and their partitioner time will read as zero.
         """
         name = resolve_method(method)
         if config is None:
@@ -221,16 +234,23 @@ class PartitionEngine:
             self._config_key(config),
             self._opts_key(opts),
             ("defaults", self.epsilon),
+            ("profile", bool(profile)),
         )
 
         def build() -> Plan:
-            partition = METHODS[name](self, nparts, config, opts)
+            prof = None
+            if profile:
+                with hg_profiling.collect() as prof:
+                    partition = METHODS[name](self, nparts, config, opts)
+            else:
+                partition = METHODS[name](self, nparts, config, opts)
             return Plan(
                 method=name,
                 nparts=int(nparts),
                 partition=partition,
                 engine=self,
                 key=key,
+                profile=prof,
             )
 
         return self._memo(key, build)

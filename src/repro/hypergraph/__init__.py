@@ -18,7 +18,12 @@ implements the same algorithmic recipe:
 - :mod:`repro.hypergraph.bisect` — the multilevel V-cycle;
 - :mod:`repro.hypergraph.partitioner` — recursive-bisection K-way
   driver with cut-net splitting (exactly models the connectivity-1
-  communication-volume metric).
+  communication-volume metric);
+- :mod:`repro.hypergraph.profiling` — per-stage wall-clock profiling of
+  the multilevel pipeline;
+- :mod:`repro.hypergraph.legacy` — the seed (pre-vectorization)
+  implementation, kept as golden quality reference and benchmark
+  baseline.
 """
 
 from repro.hypergraph.hypergraph import Hypergraph
@@ -36,6 +41,7 @@ from repro.hypergraph.partitioner import (
     imbalance,
     partition_kway,
 )
+from repro.hypergraph.profiling import PartitionProfile
 
 __all__ = [
     "Hypergraph",
@@ -45,6 +51,7 @@ __all__ = [
     "medium_grain_model",
     "medium_grain_split",
     "PartitionConfig",
+    "PartitionProfile",
     "partition_kway",
     "connectivity_minus_one",
     "cutnet_cost",

@@ -3,6 +3,13 @@
 Coarsen with heavy-connectivity matching until the hypergraph is small,
 try several initial bisections (greedy growing / random), refine with
 FM, then project back level by level refining at each.
+
+The ``ninitial`` coarsest-level trials run against shared precomputed
+arrays: the coarsest hypergraph's incidence caches and the refinement
+context (valid-net adjacency, gain bound) are built once on the
+hypergraph object and reused by every trial and projection level.  An
+optional :class:`~repro.hypergraph.profiling.PartitionProfile`
+accumulates per-stage wall-clock time.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import numpy as np
 from repro.hypergraph.coarsen import coarsen_once
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.initial import greedy_growing, random_bisection
+from repro.hypergraph.profiling import PartitionProfile
 from repro.hypergraph.refine import fm_refine
 from repro.rng import spawn
 
@@ -27,42 +35,51 @@ def multilevel_bisect(
     ninitial: int = 4,
     fm_passes: int = 4,
     max_net_size: int = 200,
+    profile: PartitionProfile | None = None,
 ) -> tuple[np.ndarray, int]:
     """Bisect ``hg`` toward per-part ``targets`` within ``(1+ε)``.
 
     Returns ``(part, cut)``: a 0/1 array over the vertices and the
     cut-net cost of the final bisection.
     """
+    prof = profile if profile is not None else PartitionProfile()
+    prof.bisections += 1
+
     levels: list[Hypergraph] = []
     maps: list[np.ndarray] = []
     cur = hg
-    while cur.nvertices > coarsen_to and len(levels) < 40:
-        cmap, coarse = coarsen_once(cur, rng, max_net_size=max_net_size)
-        if coarse.nvertices > 0.95 * cur.nvertices:
-            break  # matching stalled; further levels would be no-ops
-        levels.append(cur)
-        maps.append(cmap)
-        cur = coarse
+    with prof.stage("coarsen"):
+        while cur.nvertices > coarsen_to and len(levels) < 40:
+            cmap, coarse = coarsen_once(cur, rng, max_net_size=max_net_size)
+            if coarse.nvertices > 0.95 * cur.nvertices:
+                break  # matching stalled; further levels would be no-ops
+            levels.append(cur)
+            maps.append(cmap)
+            cur = coarse
+    prof.levels += len(levels)
 
     best_part: np.ndarray | None = None
     best_cut = np.iinfo(np.int64).max
     for trial, trial_rng in enumerate(spawn(rng, max(1, ninitial))):
-        if trial % 2 == 0:
-            part0 = greedy_growing(cur, targets, trial_rng)
-        else:
-            part0 = random_bisection(cur, targets, trial_rng)
-        part0, cut0 = fm_refine(
-            cur, part0, targets, epsilon, max_passes=fm_passes, rng=trial_rng
-        )
+        with prof.stage("initial"):
+            if trial % 2 == 0:
+                part0 = greedy_growing(cur, targets, trial_rng)
+            else:
+                part0 = random_bisection(cur, targets, trial_rng)
+        with prof.stage("refine"):
+            part0, cut0 = fm_refine(
+                cur, part0, targets, epsilon, max_passes=fm_passes, rng=trial_rng
+            )
         if cut0 < best_cut:
             best_cut = cut0
             best_part = part0
     assert best_part is not None
     part = best_part
 
-    for level_hg, cmap in zip(reversed(levels), reversed(maps)):
-        part = part[cmap]
-        part, best_cut = fm_refine(
-            level_hg, part, targets, epsilon, max_passes=fm_passes, rng=rng
-        )
+    with prof.stage("refine"):
+        for level_hg, cmap in zip(reversed(levels), reversed(maps)):
+            part = part[cmap]
+            part, best_cut = fm_refine(
+                level_hg, part, targets, epsilon, max_passes=fm_passes, rng=rng
+            )
     return part, best_cut

@@ -2,18 +2,51 @@
 
 Pairs of vertices sharing many (and small) nets are merged, shrinking
 the hypergraph while approximately preserving its cut structure — the
-same scheme PaToH uses by default (HCM).  Each vertex is visited in
-random order and matched with the unmatched neighbour of maximum
-connectivity score ``Σ cost(e) / (|e| − 1)`` over shared nets.
+same scheme PaToH uses by default (HCM).
+
+The connectivity scores ``S[v, u] = Σ cost(e) / (|e| − 1)`` over shared
+scoring nets are computed for *all* vertex pairs at once as the sparse
+product ``Bᵀ·(W·B)`` of the net–vertex incidence (one batched pass,
+replacing the seed code's per-vertex pin scan); the greedy matching
+itself then walks the random visitation order selecting each vertex's
+best unmatched neighbour from the precomputed CSR row — a handful of
+vectorized operations per vertex instead of nested pin loops.
+Contraction is fully vectorized: one composite-key sort deduplicates
+pins within nets, and identical coarse nets are merged through a
+hash-bucket pass with exact pin-array verification.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import concat_ranges
 
 __all__ = ["coarsen_once"]
+
+
+def _pair_scores(hg: Hypergraph, max_net_size: int) -> sp.csr_matrix | None:
+    """CSR matrix of HCM connectivity scores between all vertex pairs.
+
+    ``S[v, u] = Σ_{e ∋ v,u} cost(e) / (|e| − 1)`` over nets with
+    ``2 ≤ |e| ≤ max_net_size`` (larger nets carry a diffuse signal and
+    would cost ``O(|e|²)``).  ``None`` when no net qualifies.  The
+    diagonal holds self-scores; callers must skip ``u == v``.
+    """
+    sizes = hg.net_sizes()
+    valid = (sizes >= 2) & (sizes <= max_net_size)
+    if not np.any(valid):
+        return None
+    keep = valid[hg.net_of_pin]
+    e = hg.net_of_pin[keep]
+    v = hg.pins[keep]
+    contrib = hg.ncosts[e] / (sizes[e] - 1)
+    shape = (hg.nnets, hg.nvertices)
+    incidence = sp.csr_matrix((np.ones(e.size), (e, v)), shape=shape)
+    weighted = sp.csr_matrix((contrib, (e, v)), shape=shape)
+    return (incidence.T @ weighted).tocsr()
 
 
 def coarsen_once(
@@ -25,56 +58,35 @@ def coarsen_once(
 
     Returns ``(cmap, coarse)`` where ``cmap[v]`` is the coarse vertex
     holding fine vertex ``v``.  Nets of more than ``max_net_size`` pins
-    are skipped during scoring (their connectivity signal is diffuse and
-    scanning them would cost ``O(|e|²)`` overall).
+    are skipped during scoring.
     """
     n = hg.nvertices
-    xpins, pins = hg.xpins, hg.pins
-    xnets, nets = hg.xnets, hg.nets
-    ncosts = hg.ncosts
-    sizes = np.diff(xpins)
-
     mate = np.full(n, -1, dtype=np.int64)
-    score = np.zeros(n, dtype=np.float64)
-    order = rng.permutation(n)
-
-    for v in order:
-        if mate[v] != -1:
-            continue
-        touched: list[int] = []
-        for e in nets[xnets[v] : xnets[v + 1]]:
-            sz = sizes[e]
-            if sz < 2 or sz > max_net_size:
+    scores = _pair_scores(hg, max_net_size)
+    if scores is not None:
+        indptr, indices, data = scores.indptr, scores.indices, scores.data
+        for v in rng.permutation(n):
+            if mate[v] != -1:
                 continue
-            contrib = ncosts[e] / (sz - 1)
-            for u in pins[xpins[e] : xpins[e + 1]]:
-                if u != v and mate[u] == -1:
-                    if score[u] == 0.0:
-                        touched.append(u)
-                    score[u] += contrib
-        best = -1
-        best_score = 0.0
-        for u in touched:
-            if score[u] > best_score:
-                best_score = score[u]
-                best = u
-            score[u] = 0.0
-        if best != -1:
-            mate[v] = best
-            mate[best] = v
+            lo, hi = indptr[v], indptr[v + 1]
+            if hi == lo:
+                continue
+            cand = indices[lo:hi]
+            sc = np.where((mate[cand] == -1) & (cand != v), data[lo:hi], 0.0)
+            j = int(np.argmax(sc))
+            if sc[j] > 0.0:
+                u = int(cand[j])
+                mate[v] = u
+                mate[u] = v
 
-    # Cluster ids: the smaller endpoint of each pair names the cluster.
-    cmap = np.full(n, -1, dtype=np.int64)
-    next_id = 0
-    for v in range(n):
-        if cmap[v] != -1:
-            continue
-        cmap[v] = next_id
-        if mate[v] != -1:
-            cmap[mate[v]] = next_id
-        next_id += 1
-
-    coarse = _contract(hg, cmap, next_id)
+    # Cluster ids: the smaller endpoint of each pair names the cluster;
+    # ids are dealt in ascending root order (= first-encounter order of
+    # a 0..n−1 scan, as the seed implementation assigned them).
+    ids = np.arange(n, dtype=np.int64)
+    root = np.where(mate >= 0, np.minimum(ids, mate), ids)
+    uniq, cmap = np.unique(root, return_inverse=True)
+    cmap = cmap.astype(np.int64)
+    coarse = _contract(hg, cmap, int(uniq.size))
     return cmap, coarse
 
 
@@ -83,36 +95,95 @@ def _contract(hg: Hypergraph, cmap: np.ndarray, ncoarse: int) -> Hypergraph:
 
     Per-net pins are remapped and deduplicated; single-pin nets are
     dropped (they can never be cut); *identical* nets are merged with
-    their costs summed, which keeps coarse FM gains faithful.
+    their costs summed, which keeps coarse FM gains faithful.  All
+    steps are array passes; identical-net detection buckets nets by
+    ``(size, h1, h2)`` with two independent 64-bit content hashes, then
+    verifies candidate groups by exact pin comparison, so no two
+    distinct nets are ever merged (a hash collision can only *miss* a
+    merge, never corrupt one).
     """
     vweights = np.zeros((ncoarse, hg.nconstraints), dtype=np.int64)
     np.add.at(vweights, cmap, hg.vweights)
 
-    net_key: dict[bytes, int] = {}
-    net_pins: list[np.ndarray] = []
-    net_costs: list[int] = []
-    for e in range(hg.nnets):
-        mapped = np.unique(cmap[hg.net_pins(e)])
-        if mapped.size < 2:
-            continue
-        key = mapped.tobytes()
-        idx = net_key.get(key)
-        if idx is None:
-            net_key[key] = len(net_pins)
-            net_pins.append(mapped)
-            net_costs.append(int(hg.ncosts[e]))
-        else:
-            net_costs[idx] += int(hg.ncosts[e])
-
-    xpins = np.zeros(len(net_pins) + 1, dtype=np.int64)
-    for e, lst in enumerate(net_pins):
-        xpins[e + 1] = xpins[e] + lst.size
-    pins = (
-        np.concatenate(net_pins) if net_pins else np.empty(0, dtype=np.int64)
-    )
-    return Hypergraph(
-        xpins=xpins,
-        pins=pins,
+    empty = Hypergraph(
+        xpins=np.zeros(1, dtype=np.int64),
+        pins=np.empty(0, dtype=np.int64),
         vweights=vweights,
-        ncosts=np.asarray(net_costs, dtype=np.int64),
+        ncosts=np.empty(0, dtype=np.int64),
     )
+    if hg.nnets == 0 or hg.pins.size == 0:
+        return empty
+
+    # Remap + dedup within nets via one composite-key sort: the key
+    # orders by net id, then by coarse pin id inside each net.
+    key = hg.net_of_pin * np.int64(ncoarse) + cmap[hg.pins]
+    key = np.sort(key)
+    first = np.ones(key.size, dtype=bool)
+    first[1:] = key[1:] != key[:-1]
+    key = key[first]
+    net = key // ncoarse
+    pin = key % ncoarse
+
+    counts = np.bincount(net, minlength=hg.nnets)
+    live = counts >= 2
+    if not np.any(live):
+        return empty
+    keep = live[net]
+    net, pin = net[keep], pin[keep]
+    live_ids = np.flatnonzero(live)
+    csizes = counts[live_ids].astype(np.int64)
+    costs = hg.ncosts[live_ids].astype(np.int64)
+    nlive = int(live_ids.size)
+    xp = np.zeros(nlive + 1, dtype=np.int64)
+    np.cumsum(csizes, out=xp[1:])
+
+    # Content hashes (pins are sorted within each net, so position is
+    # well-defined and the combined digest is order-sensitive).
+    pos = np.arange(pin.size, dtype=np.int64) - np.repeat(xp[:-1], csizes)
+    mixed = _mix64(
+        (pin.astype(np.uint64) + np.uint64(1)) * np.uint64(0x9E3779B97F4A7C15)
+        ^ (pos.astype(np.uint64) + np.uint64(1)) * np.uint64(0xBF58476D1CE4E5B9)
+    )
+    h1 = np.bitwise_xor.reduceat(mixed, xp[:-1])
+    h2 = np.add.reduceat(mixed, xp[:-1])
+
+    order = np.lexsort((h2, h1, csizes))
+    so = csizes[order]
+    h1o, h2o = h1[order], h2[order]
+    same_key = (so[1:] == so[:-1]) & (h1o[1:] == h1o[:-1]) & (h2o[1:] == h2o[:-1])
+    dup = np.zeros(nlive, dtype=bool)  # dup[i]: net order[i] == net order[i−1]
+    cand = np.flatnonzero(same_key)
+    if cand.size:
+        a_start = xp[order[cand]]
+        b_start = xp[order[cand + 1]]
+        length = so[cand]
+        eq = pin[concat_ranges(a_start, a_start + length)] == pin[
+            concat_ranges(b_start, b_start + length)
+        ]
+        seg_starts = np.concatenate(([0], np.cumsum(length)[:-1]))
+        dup[cand + 1] = np.logical_and.reduceat(eq, seg_starts)
+
+    group = np.cumsum(~dup) - 1  # group label per net, in sorted order
+    reps = order[np.flatnonzero(~dup)]  # first member of each group
+    gcosts = np.bincount(group, weights=costs[order]).astype(np.int64)
+    rsizes = csizes[reps]
+    new_xpins = np.zeros(reps.size + 1, dtype=np.int64)
+    np.cumsum(rsizes, out=new_xpins[1:])
+    new_pins = pin[concat_ranges(xp[reps], xp[reps] + rsizes)]
+    return Hypergraph(
+        xpins=new_xpins,
+        pins=new_pins,
+        vweights=vweights,
+        ncosts=gcosts,
+    )
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, elementwise over ``uint64``."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x

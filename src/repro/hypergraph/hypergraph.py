@@ -113,6 +113,38 @@ class Hypergraph:
         return np.diff(self.xpins)
 
     # ------------------------------------------------------------------
+    # Cached incidence arrays (shared by the partitioner kernels)
+    # ------------------------------------------------------------------
+
+    @property
+    def net_of_pin(self) -> np.ndarray:
+        """Net id of every entry of ``pins`` (lazily cached).
+
+        The pin-major companion of ``xpins``; every vectorized pass over
+        the net→vertex incidence (coarsening scores, pin counting, cut
+        evaluation) indexes through this one buffer, so the partitioner
+        stages and the repeated coarsest-level trials share it.
+        """
+        cached = self.__dict__.get("_net_of_pin")
+        if cached is None:
+            cached = np.repeat(
+                np.arange(self.nnets, dtype=np.int64), np.diff(self.xpins)
+            )
+            self.__dict__["_net_of_pin"] = cached
+        return cached
+
+    @property
+    def vert_of_pin(self) -> np.ndarray:
+        """Vertex id of every entry of ``nets`` (lazily cached)."""
+        cached = self.__dict__.get("_vert_of_pin")
+        if cached is None:
+            cached = np.repeat(
+                np.arange(self.nvertices, dtype=np.int64), np.diff(self.xnets)
+            )
+            self.__dict__["_vert_of_pin"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
 
     def _validate(self) -> None:
         if self.xpins.size < 1 or self.xpins[0] != 0:

@@ -1,0 +1,549 @@
+"""The seed (pre-vectorization) multilevel partitioner, preserved.
+
+This module freezes the original pure-Python implementation of the
+multilevel recursive-bisection partitioner — per-vertex HCM matching,
+``heapq``-based FM with full gain recomputation per pass, per-pin
+greedy growing — exactly as the repository shipped it.  It is the
+golden quality reference the vectorized partitioner is pinned against
+(``tests/test_partitioner_vectorized.py``) and the baseline timed by
+``benchmarks/bench_partitioner.py``.  Never used on a hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.rng import as_generator, spawn
+
+__all__ = [
+    "legacy_partition_kway",
+    "legacy_multilevel_bisect",
+    "legacy_coarsen_once",
+    "legacy_fm_refine",
+    "legacy_greedy_growing",
+    "legacy_random_bisection",
+    "legacy_kway_greedy_refine",
+]
+
+
+# ----------------------------------------------------------------------
+# Coarsening (heavy-connectivity matching, per-vertex scan)
+# ----------------------------------------------------------------------
+
+
+def legacy_coarsen_once(
+    hg: Hypergraph,
+    rng: np.random.Generator,
+    max_net_size: int = 200,
+) -> tuple[np.ndarray, Hypergraph]:
+    """One level of heavy-connectivity matching (seed implementation)."""
+    n = hg.nvertices
+    xpins, pins = hg.xpins, hg.pins
+    xnets, nets = hg.xnets, hg.nets
+    ncosts = hg.ncosts
+    sizes = np.diff(xpins)
+
+    mate = np.full(n, -1, dtype=np.int64)
+    score = np.zeros(n, dtype=np.float64)
+    order = rng.permutation(n)
+
+    for v in order:
+        if mate[v] != -1:
+            continue
+        touched: list[int] = []
+        for e in nets[xnets[v] : xnets[v + 1]]:
+            sz = sizes[e]
+            if sz < 2 or sz > max_net_size:
+                continue
+            contrib = ncosts[e] / (sz - 1)
+            for u in pins[xpins[e] : xpins[e + 1]]:
+                if u != v and mate[u] == -1:
+                    if score[u] == 0.0:
+                        touched.append(u)
+                    score[u] += contrib
+        best = -1
+        best_score = 0.0
+        for u in touched:
+            if score[u] > best_score:
+                best_score = score[u]
+                best = u
+            score[u] = 0.0
+        if best != -1:
+            mate[v] = best
+            mate[best] = v
+
+    cmap = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        cmap[v] = next_id
+        if mate[v] != -1:
+            cmap[mate[v]] = next_id
+        next_id += 1
+
+    coarse = _legacy_contract(hg, cmap, next_id)
+    return cmap, coarse
+
+
+def _legacy_contract(hg: Hypergraph, cmap: np.ndarray, ncoarse: int) -> Hypergraph:
+    vweights = np.zeros((ncoarse, hg.nconstraints), dtype=np.int64)
+    np.add.at(vweights, cmap, hg.vweights)
+
+    net_key: dict[bytes, int] = {}
+    net_pins: list[np.ndarray] = []
+    net_costs: list[int] = []
+    for e in range(hg.nnets):
+        mapped = np.unique(cmap[hg.net_pins(e)])
+        if mapped.size < 2:
+            continue
+        key = mapped.tobytes()
+        idx = net_key.get(key)
+        if idx is None:
+            net_key[key] = len(net_pins)
+            net_pins.append(mapped)
+            net_costs.append(int(hg.ncosts[e]))
+        else:
+            net_costs[idx] += int(hg.ncosts[e])
+
+    xpins = np.zeros(len(net_pins) + 1, dtype=np.int64)
+    for e, lst in enumerate(net_pins):
+        xpins[e + 1] = xpins[e] + lst.size
+    pins = np.concatenate(net_pins) if net_pins else np.empty(0, dtype=np.int64)
+    return Hypergraph(
+        xpins=xpins,
+        pins=pins,
+        vweights=vweights,
+        ncosts=np.asarray(net_costs, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Initial bisections
+# ----------------------------------------------------------------------
+
+
+def _fits(pw0: np.ndarray, w: np.ndarray, t0: np.ndarray) -> bool:
+    return bool(np.all(pw0 + w <= t0))
+
+
+def legacy_random_bisection(
+    hg: Hypergraph, targets: tuple[np.ndarray, np.ndarray], rng: np.random.Generator
+) -> np.ndarray:
+    """Shuffled greedy fill to the target weight (seed implementation)."""
+    t0 = np.asarray(targets[0], dtype=np.float64)
+    part = np.ones(hg.nvertices, dtype=np.int8)
+    pw0 = np.zeros(hg.nconstraints, dtype=np.int64)
+    for v in rng.permutation(hg.nvertices):
+        w = hg.vweights[v]
+        if _fits(pw0, w, t0):
+            part[v] = 0
+            pw0 += w
+    return part
+
+
+def legacy_greedy_growing(
+    hg: Hypergraph, targets: tuple[np.ndarray, np.ndarray], rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy hypergraph growing via a lazy-deletion heap (seed impl)."""
+    n = hg.nvertices
+    t0 = np.asarray(targets[0], dtype=np.float64)
+    part = np.ones(n, dtype=np.int8)
+    pw0 = np.zeros(hg.nconstraints, dtype=np.int64)
+    gain = np.zeros(n, dtype=np.float64)
+    in0 = np.zeros(n, dtype=bool)
+
+    heap: list[tuple[float, int, int]] = []
+    counter = 0
+    seed_order = iter(rng.permutation(n))
+
+    def push(v: int) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (-gain[v], counter, v))
+        counter += 1
+
+    sizes = hg.net_sizes()
+    while True:
+        if not heap:
+            seed = next((s for s in seed_order if not in0[s]), None)
+            if seed is None:
+                break
+            gain[seed] = 0.0
+            push(seed)
+        g, _, v = heapq.heappop(heap)
+        if in0[v] or -g != gain[v]:
+            continue
+        w = hg.vweights[v]
+        if not _fits(pw0, w, t0):
+            continue
+        in0[v] = True
+        part[v] = 0
+        pw0 += w
+        if np.all(pw0 >= t0):
+            break
+        for e in hg.vertex_nets(v):
+            if sizes[e] < 2:
+                continue
+            bump = hg.ncosts[e] / (sizes[e] - 1)
+            for u in hg.net_pins(e):
+                if not in0[u]:
+                    gain[u] += bump
+                    push(u)
+    return part
+
+
+# ----------------------------------------------------------------------
+# FM refinement (lazy-deletion heap, full gain recompute per pass)
+# ----------------------------------------------------------------------
+
+
+def _part_weights(hg: Hypergraph, part: np.ndarray) -> np.ndarray:
+    pw = np.zeros((2, hg.nconstraints), dtype=np.int64)
+    np.add.at(pw, part, hg.vweights)
+    return pw
+
+
+def _bisection_cut(hg: Hypergraph, part: np.ndarray) -> int:
+    sizes = np.diff(hg.xpins)
+    net_of_pin = np.repeat(np.arange(hg.nnets), sizes)
+    side = part[hg.pins]
+    ones = np.zeros(hg.nnets, dtype=np.int64)
+    np.add.at(ones, net_of_pin, side)
+    cut_mask = (ones > 0) & (ones < sizes)
+    return int(hg.ncosts[cut_mask].sum())
+
+
+def _violation(pw: np.ndarray, limits: np.ndarray) -> float:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(limits > 0, pw / limits, np.where(pw > 0, np.inf, 1.0))
+    return float(rel.max())
+
+
+def legacy_fm_refine(
+    hg: Hypergraph,
+    part: np.ndarray,
+    targets: tuple[np.ndarray, np.ndarray],
+    epsilon: float,
+    max_passes: int = 4,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, int]:
+    """The seed heap-based FM; see :func:`repro.hypergraph.refine.fm_refine`."""
+    part = np.asarray(part, dtype=np.int8).copy()
+    n = hg.nvertices
+    if n == 0 or hg.nnets == 0:
+        return part, 0
+
+    xpins, pins = hg.xpins, hg.pins
+    xnets, nets = hg.xnets, hg.nets
+    ncosts = hg.ncosts
+    sizes = np.diff(xpins)
+
+    limits = np.stack(
+        [
+            np.asarray(targets[0], dtype=np.float64) * (1.0 + epsilon),
+            np.asarray(targets[1], dtype=np.float64) * (1.0 + epsilon),
+        ]
+    )
+
+    pc = np.zeros((hg.nnets, 2), dtype=np.int64)
+    net_of_pin = np.repeat(np.arange(hg.nnets), sizes)
+    np.add.at(pc, (net_of_pin, part[pins].astype(np.int64)), 1)
+    cut = int(ncosts[(pc[:, 0] > 0) & (pc[:, 1] > 0)].sum())
+    pw = _part_weights(hg, part).astype(np.float64)
+
+    vert_of_pin = np.repeat(np.arange(n, dtype=np.int64), np.diff(xnets))
+
+    def initial_gains() -> np.ndarray:
+        g = np.zeros(n, dtype=np.int64)
+        pv = part[vert_of_pin].astype(np.int64)
+        ee = nets
+        valid = sizes[ee] >= 2
+        uncut_bonus = pc[ee, pv] == 1
+        cut_penalty = pc[ee, 1 - pv] == 0
+        np.add.at(g, vert_of_pin[valid & uncut_bonus], ncosts[ee[valid & uncut_bonus]])
+        np.subtract.at(g, vert_of_pin[valid & cut_penalty], ncosts[ee[valid & cut_penalty]])
+        return g
+
+    def boundary_vertices() -> np.ndarray:
+        cut_nets = (pc[:, 0] > 0) & (pc[:, 1] > 0)
+        if not np.any(cut_nets):
+            return np.empty(0, dtype=np.int64)
+        return np.unique(vert_of_pin[cut_nets[nets]])
+
+    for _ in range(max_passes):
+        gain = initial_gains()
+        locked = np.zeros(n, dtype=bool)
+        heap: list[tuple[int, int, int]] = []
+        counter = 0
+        seeds = boundary_vertices()
+        if seeds.size == 0:
+            seeds = np.arange(n)
+        for v in seeds:
+            heapq.heappush(heap, (-int(gain[v]), counter, int(v)))
+            counter += 1
+
+        moves: list[int] = []
+        gain_sums: list[int] = []
+        scores: list[tuple[float, int]] = []
+        running = 0
+        cur_violation = _violation(pw, limits)
+        initial_score = (max(cur_violation, 1.0), 0)
+
+        while heap:
+            negg, _, v = heapq.heappop(heap)
+            if locked[v] or -negg != gain[v]:
+                continue
+            a = int(part[v])
+            b = 1 - a
+            w = hg.vweights[v].astype(np.float64)
+            new_pw = pw.copy()
+            new_pw[a] -= w
+            new_pw[b] += w
+            new_violation = _violation(new_pw, limits)
+            if new_violation > 1.0 and new_violation >= cur_violation:
+                continue
+            locked[v] = True
+            move_gain = int(gain[v])
+            for e in nets[xnets[v] : xnets[v + 1]]:
+                if sizes[e] < 2:
+                    continue
+                c = int(ncosts[e])
+                epins = pins[xpins[e] : xpins[e + 1]]
+                if pc[e, b] == 0:
+                    for u in epins:
+                        if not locked[u]:
+                            gain[u] += c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+                elif pc[e, b] == 1:
+                    for u in epins:
+                        if part[u] == b and not locked[u]:
+                            gain[u] -= c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+                pc[e, a] -= 1
+                pc[e, b] += 1
+                if pc[e, a] == 0:
+                    for u in epins:
+                        if not locked[u]:
+                            gain[u] -= c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+                elif pc[e, a] == 1:
+                    for u in epins:
+                        if part[u] == a and u != v and not locked[u]:
+                            gain[u] += c
+                            heapq.heappush(heap, (-int(gain[u]), counter, u))
+                            counter += 1
+            running += move_gain
+            part[v] = b
+            pw = new_pw
+            cur_violation = new_violation
+            moves.append(v)
+            gain_sums.append(running)
+            scores.append((max(cur_violation, 1.0), -running))
+
+        if not moves:
+            break
+        best_idx = min(range(len(scores)), key=lambda i: scores[i])
+        best_gain = gain_sums[best_idx]
+        if scores[best_idx] >= initial_score:
+            best_idx = -1
+            best_gain = 0
+        for v in moves[best_idx + 1 :]:
+            b = int(part[v])
+            a = 1 - b
+            part[v] = a
+            w = hg.vweights[v].astype(np.float64)
+            pw[b] -= w
+            pw[a] += w
+            for e in nets[xnets[v] : xnets[v + 1]]:
+                if sizes[e] >= 2:
+                    pc[e, b] -= 1
+                    pc[e, a] += 1
+        if best_idx == -1:
+            break
+        cut -= best_gain
+        if best_gain <= 0 and scores[best_idx][0] <= 1.0:
+            break
+
+    return part, cut
+
+
+# ----------------------------------------------------------------------
+# Multilevel V-cycle and recursive bisection driver
+# ----------------------------------------------------------------------
+
+
+def legacy_multilevel_bisect(
+    hg: Hypergraph,
+    targets: tuple[np.ndarray, np.ndarray],
+    epsilon: float,
+    rng: np.random.Generator,
+    coarsen_to: int = 120,
+    ninitial: int = 4,
+    fm_passes: int = 4,
+    max_net_size: int = 200,
+) -> tuple[np.ndarray, int]:
+    """The seed multilevel bisection V-cycle."""
+    levels: list[Hypergraph] = []
+    maps: list[np.ndarray] = []
+    cur = hg
+    while cur.nvertices > coarsen_to and len(levels) < 40:
+        cmap, coarse = legacy_coarsen_once(cur, rng, max_net_size=max_net_size)
+        if coarse.nvertices > 0.95 * cur.nvertices:
+            break
+        levels.append(cur)
+        maps.append(cmap)
+        cur = coarse
+
+    best_part: np.ndarray | None = None
+    best_cut = np.iinfo(np.int64).max
+    for trial, trial_rng in enumerate(spawn(rng, max(1, ninitial))):
+        if trial % 2 == 0:
+            part0 = legacy_greedy_growing(cur, targets, trial_rng)
+        else:
+            part0 = legacy_random_bisection(cur, targets, trial_rng)
+        part0, cut0 = legacy_fm_refine(
+            cur, part0, targets, epsilon, max_passes=fm_passes, rng=trial_rng
+        )
+        if cut0 < best_cut:
+            best_cut = cut0
+            best_part = part0
+    assert best_part is not None
+    part = best_part
+
+    for level_hg, cmap in zip(reversed(levels), reversed(maps)):
+        part = part[cmap]
+        part, best_cut = legacy_fm_refine(
+            level_hg, part, targets, epsilon, max_passes=fm_passes, rng=rng
+        )
+    return part, best_cut
+
+
+def legacy_kway_greedy_refine(
+    hg: Hypergraph,
+    part: np.ndarray,
+    nparts: int,
+    epsilon: float = 0.03,
+    max_passes: int = 3,
+) -> np.ndarray:
+    """The seed per-vertex K-way greedy polish."""
+    part = np.asarray(part, dtype=np.int64).copy()
+    n = hg.nvertices
+    if n == 0 or hg.nnets == 0 or nparts < 2:
+        return part
+
+    sizes = np.diff(hg.xpins)
+    net_of_pin = np.repeat(np.arange(hg.nnets), sizes)
+    pc = np.zeros((hg.nnets, nparts), dtype=np.int64)
+    np.add.at(pc, (net_of_pin, part[hg.pins]), 1)
+
+    pw = np.zeros((nparts, hg.nconstraints), dtype=np.float64)
+    np.add.at(pw, part, hg.vweights.astype(np.float64))
+    limit = hg.total_weight().astype(np.float64) / nparts * (1.0 + epsilon)
+
+    xnets, nets = hg.xnets, hg.nets
+    ncosts = hg.ncosts
+
+    for _ in range(max_passes):
+        lam = (pc > 0).sum(axis=1)
+        cut_nets = lam >= 2
+        vert_of_pin = np.repeat(np.arange(n), np.diff(xnets))
+        boundary = np.unique(vert_of_pin[cut_nets[nets]])
+        moved = 0
+        for v in boundary:
+            a = int(part[v])
+            enets_all = nets[xnets[v] : xnets[v + 1]]
+            enets = enets_all[sizes[enets_all] >= 2]
+            if enets.size == 0:
+                continue
+            cand = np.unique(
+                np.concatenate([np.flatnonzero(pc[e] > 0) for e in enets])
+            )
+            best_b, best_gain = -1, 0
+            w = hg.vweights[v].astype(np.float64)
+            for b in cand:
+                if b == a:
+                    continue
+                if np.any(pw[b] + w > limit):
+                    continue
+                gain = 0
+                for e in enets:
+                    c = int(ncosts[e])
+                    if pc[e, a] == 1 and pc[e, b] >= 1:
+                        gain += c
+                    elif pc[e, a] >= 2 and pc[e, b] == 0:
+                        gain -= c
+                if gain > best_gain:
+                    best_gain = gain
+                    best_b = int(b)
+            if best_b >= 0:
+                for e in enets_all:
+                    pc[e, a] -= 1
+                    pc[e, best_b] += 1
+                pw[a] -= w
+                pw[best_b] += w
+                part[v] = best_b
+                moved += 1
+        if moved == 0:
+            break
+    return part
+
+
+def legacy_partition_kway(hg: Hypergraph, nparts: int, config=None) -> np.ndarray:
+    """The seed K-way recursive-bisection driver.
+
+    ``config`` is a :class:`repro.hypergraph.PartitionConfig` (imported
+    lazily to avoid a cycle with the rewritten partitioner module).
+    """
+    from repro.hypergraph.partitioner import PartitionConfig
+
+    if nparts < 1:
+        raise ConfigError("nparts must be at least 1")
+    config = config or PartitionConfig()
+    rng = as_generator(config.seed)
+    depth = max(1, int(np.ceil(np.log2(nparts)))) if nparts > 1 else 1
+    eps_level = (1.0 + config.epsilon) ** (1.0 / depth) - 1.0
+    part = np.zeros(hg.nvertices, dtype=np.int64)
+    _legacy_recurse(hg, np.arange(hg.nvertices), nparts, 0, part, eps_level, config, rng)
+    if nparts > 1 and config.kway_passes > 0:
+        part = legacy_kway_greedy_refine(
+            hg, part, nparts, epsilon=config.epsilon, max_passes=config.kway_passes
+        )
+    return part
+
+
+def _legacy_recurse(hg, vertex_ids, nparts, offset, out, eps_level, config, rng) -> None:
+    from repro.hypergraph.partitioner import _split_side
+
+    if nparts == 1 or hg.nvertices == 0:
+        out[vertex_ids] = offset
+        return
+    k0 = (nparts + 1) // 2
+    k1 = nparts - k0
+    total = hg.total_weight().astype(np.float64)
+    t0 = total * (k0 / nparts)
+    t1 = total - t0
+    part, _ = legacy_multilevel_bisect(
+        hg,
+        (t0, t1),
+        eps_level,
+        rng,
+        coarsen_to=max(config.coarsen_to, 8 * nparts),
+        ninitial=config.ninitial,
+        fm_passes=config.fm_passes,
+        max_net_size=config.max_net_size,
+    )
+    rng0, rng1 = spawn(rng, 2)
+    for side, kk, off, side_rng in ((0, k0, offset, rng0), (1, k1, offset + k0, rng1)):
+        ids = np.flatnonzero(part == side)
+        if kk == 1 or ids.size == 0:
+            out[vertex_ids[ids]] = off
+            continue
+        sub = _split_side(hg, part, side)
+        _legacy_recurse(sub, vertex_ids[ids], kk, off, out, eps_level, config, side_rng)

@@ -9,13 +9,17 @@ strategy PaToH applies for the connectivity metric.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.hypergraph import profiling
 from repro.hypergraph.bisect import multilevel_bisect
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.profiling import PartitionProfile
+from repro.kernels import grouped_distinct_counts
 from repro.rng import as_generator, spawn
 
 __all__ = [
@@ -55,26 +59,53 @@ class PartitionConfig:
 
 
 def partition_kway(
-    hg: Hypergraph, nparts: int, config: PartitionConfig | None = None
+    hg: Hypergraph,
+    nparts: int,
+    config: PartitionConfig | None = None,
+    profile: PartitionProfile | None = None,
 ) -> np.ndarray:
     """Partition the vertices of ``hg`` into ``nparts`` balanced parts.
 
     Returns an ``int64`` part array of length ``hg.nvertices``.
+
+    ``profile`` (or an ambient :func:`repro.hypergraph.profiling.collect`
+    block) receives per-stage wall-clock timings; when profiling, the
+    connectivity-1 cost before and after the K-way polish is recorded
+    too — the polish only accepts positive-gain moves, so the cost can
+    never increase.
     """
     if nparts < 1:
         raise ConfigError("nparts must be at least 1")
     config = config or PartitionConfig()
+    prof = profile if profile is not None else profiling.active_profile()
+    t_start = time.perf_counter()
     rng = as_generator(config.seed)
     depth = max(1, int(np.ceil(np.log2(nparts)))) if nparts > 1 else 1
     eps_level = (1.0 + config.epsilon) ** (1.0 / depth) - 1.0
     part = np.zeros(hg.nvertices, dtype=np.int64)
-    _recurse(hg, np.arange(hg.nvertices), nparts, 0, part, eps_level, config, rng)
+    _recurse(
+        hg, np.arange(hg.nvertices), nparts, 0, part, eps_level, config, rng, prof
+    )
     if nparts > 1 and config.kway_passes > 0:
         from repro.hypergraph.kway import kway_greedy_refine
 
+        if prof is not None:
+            cut_before = connectivity_minus_one(hg, part)
+        t0 = time.perf_counter()
         part = kway_greedy_refine(
             hg, part, nparts, epsilon=config.epsilon, max_passes=config.kway_passes
         )
+        if prof is not None:
+            prof.add("kway", time.perf_counter() - t0)
+            # Accumulate (not overwrite): an ambient collector may span
+            # several partition_kway runs (e.g. the checkerboard row and
+            # column stages); the profile then reports the totals.
+            prof.cut_before_kway = (prof.cut_before_kway or 0) + cut_before
+            prof.cut_after_kway = (prof.cut_after_kway or 0) + connectivity_minus_one(
+                hg, part
+            )
+    if prof is not None:
+        prof.total_s += time.perf_counter() - t_start
     return part
 
 
@@ -87,6 +118,7 @@ def _recurse(
     eps_level: float,
     config: PartitionConfig,
     rng: np.random.Generator,
+    prof: PartitionProfile | None = None,
 ) -> None:
     if nparts == 1 or hg.nvertices == 0:
         out[vertex_ids] = offset
@@ -105,6 +137,7 @@ def _recurse(
         ninitial=config.ninitial,
         fm_passes=config.fm_passes,
         max_net_size=config.max_net_size,
+        profile=prof,
     )
     rng0, rng1 = spawn(rng, 2)
     for side, kk, off, side_rng in ((0, k0, offset, rng0), (1, k1, offset + k0, rng1)):
@@ -113,7 +146,7 @@ def _recurse(
             out[vertex_ids[ids]] = off
             continue
         sub = _split_side(hg, part, side)
-        _recurse(sub, vertex_ids[ids], kk, off, out, eps_level, config, side_rng)
+        _recurse(sub, vertex_ids[ids], kk, off, out, eps_level, config, side_rng, prof)
 
 
 def _split_side(hg: Hypergraph, part: np.ndarray, side: int) -> Hypergraph:
@@ -157,15 +190,13 @@ def _split_side(hg: Hypergraph, part: np.ndarray, side: int) -> Hypergraph:
 def net_connectivities(hg: Hypergraph, part: np.ndarray) -> np.ndarray:
     """λ_e: number of distinct parts touching each net (0 for empty nets)."""
     part = np.asarray(part, dtype=np.int64)
-    sizes = np.diff(hg.xpins)
-    net_of_pin = np.repeat(np.arange(hg.nnets, dtype=np.int64), sizes)
     if hg.pins.size == 0:
         return np.zeros(hg.nnets, dtype=np.int64)
     nparts = int(part.max()) + 1 if part.size else 1
-    keys = net_of_pin * nparts + part[hg.pins]
-    uniq = np.unique(keys)
-    lam = np.bincount(uniq // nparts, minlength=hg.nnets)
-    return lam.astype(np.int64)
+    groups, counts = grouped_distinct_counts(hg.net_of_pin, part[hg.pins], nparts)
+    lam = np.zeros(hg.nnets, dtype=np.int64)
+    lam[groups] = counts
+    return lam
 
 
 def connectivity_minus_one(hg: Hypergraph, part: np.ndarray) -> int:

@@ -1,0 +1,114 @@
+"""Per-stage timing of the multilevel partitioner.
+
+A :class:`PartitionProfile` accumulates wall-clock seconds per pipeline
+stage (coarsening, initial bisection, FM refinement, K-way polish) plus
+structural counters.  Two ways to collect one:
+
+- pass ``profile=PartitionProfile()`` to
+  :func:`repro.hypergraph.partition_kway` directly;
+- wrap any code in :func:`collect` — every ``partition_kway`` call in
+  the ``with`` block (however deeply nested inside engine builders)
+  accumulates into the yielded profile.  This is how
+  ``PartitionEngine.plan(..., profile=True)`` and the CLI ``--profile``
+  flag observe the hypergraph stage without threading an argument
+  through every method builder.
+
+The ambient collector is a module global; the library is single-
+threaded by design, matching the rest of the reproduction harness.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PartitionProfile", "collect", "active_profile"]
+
+
+@dataclass
+class PartitionProfile:
+    """Accumulated stage timings of one (or more) ``partition_kway`` runs."""
+
+    coarsen_s: float = 0.0
+    initial_s: float = 0.0
+    refine_s: float = 0.0
+    kway_s: float = 0.0
+    total_s: float = 0.0
+    levels: int = 0
+    bisections: int = 0
+    cut_before_kway: int | None = None
+    cut_after_kway: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        setattr(self, f"{stage}_s", getattr(self, f"{stage}_s") + seconds)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a block and charge it to ``name`` (coarsen/initial/...)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def as_dict(self) -> dict:
+        d = {
+            "coarsen_s": self.coarsen_s,
+            "initial_s": self.initial_s,
+            "refine_s": self.refine_s,
+            "kway_s": self.kway_s,
+            "total_s": self.total_s,
+            "levels": self.levels,
+            "bisections": self.bisections,
+        }
+        if self.cut_before_kway is not None:
+            d["cut_before_kway"] = self.cut_before_kway
+            d["cut_after_kway"] = self.cut_after_kway
+        d.update(self.extra)
+        return d
+
+    def stage_table(self) -> str:
+        """Human-readable per-stage breakdown (the CLI ``--profile`` view)."""
+        rows = [
+            ("coarsen", self.coarsen_s),
+            ("initial", self.initial_s),
+            ("refine", self.refine_s),
+            ("kway-polish", self.kway_s),
+        ]
+        lines = ["stage         seconds   share"]
+        denom = self.total_s if self.total_s > 0 else sum(s for _, s in rows) or 1.0
+        for name, s in rows:
+            lines.append(f"{name:<12}  {s:8.3f}  {100.0 * s / denom:5.1f}%")
+        lines.append(f"{'total':<12}  {self.total_s:8.3f}")
+        lines.append(
+            f"levels={self.levels} bisections={self.bisections}"
+        )
+        if self.cut_before_kway is not None:
+            lines.append(
+                f"connectivity-1: {self.cut_before_kway} -> {self.cut_after_kway} "
+                "(kway polish)"
+            )
+        return "\n".join(lines)
+
+
+_ACTIVE: PartitionProfile | None = None
+
+
+def active_profile() -> PartitionProfile | None:
+    """The ambient profile collector, if a :func:`collect` block is open."""
+    return _ACTIVE
+
+
+@contextmanager
+def collect(profile: PartitionProfile | None = None):
+    """Collect partitioner stage timings from everything run inside."""
+    global _ACTIVE
+    prof = profile if profile is not None else PartitionProfile()
+    prev = _ACTIVE
+    _ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = prev

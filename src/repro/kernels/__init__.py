@@ -1,0 +1,100 @@
+"""Shared array kernels used across the analytics and partitioner layers.
+
+Small, allocation-light building blocks that several subsystems need:
+the batched block analytics (:mod:`repro.sparse.blocks`), the simulated
+SpMV executors (:mod:`repro.simulate`) and the vectorized multilevel
+partitioner (:mod:`repro.hypergraph`).  Everything here operates on
+plain NumPy arrays and is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["concat_ranges", "concat_spans", "group_sum", "grouped_distinct_counts"]
+
+
+def concat_spans(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Unchecked core of :func:`concat_ranges`.
+
+    Every ``lens[i]`` must be strictly positive and there must be at
+    least one span — hot paths that guarantee this (e.g. FM's critical
+    nets all have ≥ 2 pins) skip the validation and filtering.
+    """
+    cum = np.cumsum(lens)
+    # Within-segment offset = global position − segment start position.
+    out = np.repeat(starts - (cum - lens), lens)
+    out += np.arange(int(cum[-1]), dtype=np.int64)
+    return out
+
+
+def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], ends[i])`` over all ``i``.
+
+    The ragged-gather kernel: given CSR-style span boundaries it yields
+    the flat index array selecting every spanned element, without a
+    Python-level loop.  Empty spans contribute nothing.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lens = ends - starts
+    if np.any(lens < 0):
+        raise ValueError("range ends must not precede starts")
+    nonempty = lens > 0
+    if not np.all(nonempty):
+        starts, lens = starts[nonempty], lens[nonempty]
+    if lens.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return concat_spans(starts, lens)
+
+
+def group_sum(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``values`` by integer ``keys``; returns ``(unique_keys, sums)``.
+
+    Dense key ranges take an ``np.bincount`` fastpath (one histogram
+    pass, no sort); sparse ranges fall back to the ``np.unique`` +
+    ``np.add.at`` formulation.  Both paths return identical results with
+    ``unique_keys`` sorted ascending.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values)
+    if keys.size == 0:
+        return keys.copy(), values.copy()
+    kmin = int(keys.min())
+    span = int(keys.max()) - kmin + 1
+    if span <= max(64 * keys.size, 1 << 20):
+        shifted = keys - kmin
+        counts = np.bincount(shifted, minlength=span)
+        sums = np.bincount(shifted, weights=values, minlength=span)
+        present = counts > 0
+        uniq = np.flatnonzero(present) + kmin
+        return uniq, sums[present].astype(values.dtype, copy=False)
+    uniq, inv = np.unique(keys, return_inverse=True)
+    sums = np.zeros(uniq.size, dtype=values.dtype)
+    np.add.at(sums, inv, values)
+    return uniq, sums
+
+
+def grouped_distinct_counts(
+    group: np.ndarray, values: np.ndarray, nvalues: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct-``values`` count per distinct ``group`` id, in one pass.
+
+    The shared counting kernel of the analytics layer: encode each
+    ``(group, value)`` pair as ``group * (nvalues + 1) + value``,
+    deduplicate once, and histogram the surviving pairs by group.
+    Returns ``(groups, counts)`` with ``groups`` sorted ascending;
+    groups with no pairs do not appear.
+    """
+    group = np.asarray(group, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    stride = np.int64(nvalues) + 1
+    pairs = np.unique(group * stride + values)
+    # ``pairs`` is sorted, so the group column is nondecreasing: count
+    # runs with a boundary scan instead of a second sort.
+    if pairs.size == 0:
+        return pairs, pairs.copy()
+    pair_groups = pairs // stride
+    boundary = np.flatnonzero(pair_groups[1:] != pair_groups[:-1]) + 1
+    starts = np.concatenate(([0], boundary, [pair_groups.size]))
+    return pair_groups[starts[:-1]], np.diff(starts)

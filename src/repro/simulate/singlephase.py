@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.kernels import group_sum
 from repro.partition.types import SpMVPartition
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
@@ -30,14 +31,6 @@ from repro.simulate.messages import Ledger
 __all__ = ["run_single_phase"]
 
 PHASE = "expand-and-fold"
-
-
-def _group_sum(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Sum ``values`` by ``keys``; returns (unique_keys, sums)."""
-    uniq, inv = np.unique(keys, return_inverse=True)
-    sums = np.zeros(uniq.size, dtype=values.dtype)
-    np.add.at(sums, inv, values)
-    return uniq, sums
 
 
 def run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
@@ -77,8 +70,10 @@ def run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     if not np.all(cp[pre_mask] == owner[pre_mask]):
         raise SimulationError("precompute touched a non-local x entry")
     # Partials ȳ_i accumulated at their producer: key (producer, i).
+    # Partials are keyed (producer, row): a dense key range, so the
+    # shared kernel's bincount fastpath applies.
     pk = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
-    pkeys, psums = _group_sum(pk, vals[pre_mask] * x[cols[pre_mask]])
+    pkeys, psums = group_sum(pk, vals[pre_mask] * x[cols[pre_mask]])
     part_src = pkeys // nrows
     part_row = pkeys % nrows
     part_dst = p.vectors.y_part[part_row]

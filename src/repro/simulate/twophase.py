@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.kernels import group_sum
 from repro.partition.types import SpMVPartition
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
@@ -62,11 +63,9 @@ def run_two_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
                 f"P{owner[t]} multiplied with x[{cols[t]}] it neither owns nor received"
             )
         xs[t] = recv_x[key]
-    # Partial results per (holder, row).
+    # Partial results per (holder, row) — dense keys, bincount fastpath.
     pk = owner.astype(np.int64) * nrows + rows
-    pkeys, inv = np.unique(pk, return_inverse=True)
-    psums = np.zeros(pkeys.size, dtype=np.float64)
-    np.add.at(psums, inv, vals * xs)
+    pkeys, psums = group_sum(pk, vals * xs)
     p_holder = pkeys // nrows
     p_row = pkeys % nrows
     p_dst = p.vectors.y_part[p_row]

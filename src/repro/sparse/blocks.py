@@ -32,39 +32,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import PartitionError
+from repro.kernels import grouped_distinct_counts
 from repro.sparse.coo import coo_triplets
 
 __all__ = [
     "BlockStructure",
     "BlockStats",
-    "grouped_distinct_counts",
+    "grouped_distinct_counts",  # re-exported from repro.kernels
     "legacy_block_stats",
 ]
-
-
-def grouped_distinct_counts(
-    group: np.ndarray, values: np.ndarray, nvalues: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Distinct-``values`` count per distinct ``group`` id, in one pass.
-
-    The shared counting kernel of the analytics layer: encode each
-    ``(group, value)`` pair as ``group * (nvalues + 1) + value``,
-    deduplicate once, and histogram the surviving pairs by group.
-    Returns ``(groups, counts)`` with ``groups`` sorted ascending;
-    groups with no pairs do not appear.
-    """
-    group = np.asarray(group, dtype=np.int64)
-    values = np.asarray(values, dtype=np.int64)
-    stride = np.int64(nvalues) + 1
-    pairs = np.unique(group * stride + values)
-    # ``pairs`` is sorted, so the group column is nondecreasing: count
-    # runs with a boundary scan instead of a second sort.
-    if pairs.size == 0:
-        return pairs, pairs.copy()
-    pair_groups = pairs // stride
-    boundary = np.flatnonzero(pair_groups[1:] != pair_groups[:-1]) + 1
-    starts = np.concatenate(([0], boundary, [pair_groups.size]))
-    return pair_groups[starts[:-1]], np.diff(starts)
 
 
 def _key_position(keys: np.ndarray, nparts: int, row_block: int, col_block: int) -> int:

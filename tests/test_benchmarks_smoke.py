@@ -1,0 +1,86 @@
+"""Slow-marked smoke tests keeping the benchmark scripts from rotting.
+
+Every JSON-emitting benchmark runs end-to-end at tiny scale into a
+temporary directory, and the pytest-benchmark table scripts are
+executed at tiny scale through a pytest subprocess — the same code
+paths ``benchmarks/run_all.py`` and the table harness drive for real.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def _bench_on_path():
+    sys.path.insert(0, str(BENCH_DIR))
+    yield
+    sys.path.remove(str(BENCH_DIR))
+
+
+def test_bench_engine_quick(tmp_path):
+    import bench_engine
+
+    out = tmp_path / "BENCH_engine.json"
+    result = bench_engine.run(out, quick=True)
+    assert out.exists()
+    data = json.loads(out.read_text())
+    assert data == result
+    assert {"matrix", "block_stats", "block_dm", "engine_pipeline"} <= set(data)
+    assert data["block_stats"]["batched_s"] > 0
+
+
+def test_bench_partitioner_quick(tmp_path):
+    import bench_partitioner
+
+    out = tmp_path / "BENCH_partitioner.json"
+    result = bench_partitioner.run(out, quick=True)
+    assert out.exists()
+    data = json.loads(out.read_text())
+    assert {"config", "end_to_end", "quality_suite", "acceptance"} <= set(data)
+    assert len(data["end_to_end"]) == 4  # 2 models x 2 K values
+    for entry in data["end_to_end"]:
+        assert entry["vectorized_s"] > 0
+        assert entry["stages"]["total_s"] > 0
+    assert data["quality_suite"]["max_ratio"] == max(
+        m["ratio"] for m in data["quality_suite"]["matrices"]
+    )
+    assert result["config"]["quick"] is True
+
+
+def test_run_all_driver_quick(tmp_path):
+    import run_all
+
+    results = run_all.run_all(tmp_path, quick=True)
+    assert set(results) == {"BENCH_engine.json", "BENCH_partitioner.json"}
+    for artifact in results:
+        assert (tmp_path / artifact).exists()
+
+
+def test_table_benchmarks_tiny_scale():
+    """Run every pytest-benchmark table script at tiny scale."""
+    env = dict(os.environ, REPRO_SCALE="tiny")
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", str(BENCH_DIR), "-q",
+            "-p", "no:cacheprovider",
+            "--override-ini", "python_files=bench_*.py",
+            "--override-ini", "python_functions=test_*",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=1200,
+    )
+    assert proc.returncode == 0, proc.stdout[-4000:] + proc.stderr[-4000:]
