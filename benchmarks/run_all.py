@@ -1,7 +1,8 @@
 """Regenerate every ``BENCH_*.json`` artifact in one shot.
 
 Drives the JSON-emitting benchmark modules (currently
-``bench_engine`` and ``bench_partitioner``) and prints a one-line
+``bench_engine``, ``bench_partitioner`` and ``bench_simulate``) and
+prints a one-line
 summary per artifact.  ``--quick`` runs every benchmark at tiny scale
 (seconds, not minutes) — the same entry point the slow-marked pytest
 smoke test uses, so the bench scripts cannot rot unnoticed.
@@ -24,6 +25,7 @@ sys.path.insert(0, str(BENCH_DIR))
 
 import bench_engine  # noqa: E402
 import bench_partitioner  # noqa: E402
+import bench_simulate  # noqa: E402
 
 #: (module, artifact filename, headline extractor)
 BENCHMARKS = [
@@ -38,6 +40,14 @@ BENCHMARKS = [
         lambda r: (
             f"partitioner speedup {r['acceptance']['speedup']:.1f}x "
             f"(quality max ratio {r['quality_suite']['max_ratio']:.3f})"
+        ),
+    ),
+    (
+        bench_simulate,
+        "BENCH_simulate.json",
+        lambda r: (
+            f"single-phase executor speedup {r['acceptance']['speedup']:.1f}x "
+            f"(ledgers identical: {r['acceptance']['ledgers_identical']})"
         ),
     ),
 ]

@@ -8,10 +8,15 @@
     python -m repro.cli spy --matrix trdheim --scheme s2d --k 3 --scale tiny
     python -m repro.cli partition --matrix c-big --scheme s2d --k 16
     python -m repro.cli partition --mtx path/to/file.mtx --scheme 2d --k 8
+    python -m repro.cli simulate --matrix c-big --scheme s2d --k 16 --profile
+    python -m repro.cli simulate --matrix trdheim --k 8 --all
 
 The ``table`` subcommand regenerates any of the paper's Tables I–VII;
 ``partition`` runs one scheme on one matrix and prints the quality
-summary the tables are made of.
+summary the tables are made of; ``simulate`` runs the simulated SpMV
+executors themselves (``--all`` batches every registered method over
+shared intermediates, ``--profile`` adds per-phase wall-clock timings
+and the machine-model cost breakdown).
 """
 
 from __future__ import annotations
@@ -62,6 +67,15 @@ def _engine(a, cfg: ExperimentConfig) -> PartitionEngine:
     return PartitionEngine(a, seed=cfg.seed, machine=cfg.machine)
 
 
+def _quality_line(kind: str, q) -> str:
+    """The one-line quality summary shared by `partition` and `simulate`."""
+    return (
+        f"scheme={kind} K={q.nparts} LI={q.format_li()} "
+        f"volume={q.total_volume} msgs(avg/max)={q.avg_msgs:.1f}/{q.max_msgs} "
+        f"speedup={q.speedup:.1f}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(prog="s2d-repro", description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -95,6 +109,24 @@ def main(argv: list[str] | None = None) -> int:
     p_part.add_argument(
         "--profile", action="store_true",
         help="print per-stage partitioner timings (coarsen/initial/refine/kway)",
+    )
+
+    p_sim = sub.add_parser("simulate", help="run the simulated SpMV executors")
+    p_sim.add_argument("--matrix", help="suite matrix name (see `suite`)")
+    p_sim.add_argument("--mtx", help="path to a MatrixMarket file")
+    p_sim.add_argument(
+        "--scheme", choices=_SCHEMES, default=None,
+        help="one scheme to simulate (default s2d); conflicts with --all",
+    )
+    p_sim.add_argument(
+        "--all", action="store_true",
+        help="simulate every registered method in one batched pass",
+    )
+    p_sim.add_argument("--k", type=int, default=16)
+    p_sim.add_argument("--scale", choices=SCALES, default="small")
+    p_sim.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase executor timings and the cost breakdown",
     )
 
     args = ap.parse_args(argv)
@@ -142,11 +174,35 @@ def main(argv: list[str] | None = None) -> int:
         if args.profile and plan.profile is not None:
             print(plan.profile.stage_table())
         q = plan.quality()
-        print(
-            f"scheme={plan.kind} K={q.nparts} LI={q.format_li()} "
-            f"volume={q.total_volume} msgs(avg/max)={q.avg_msgs:.1f}/{q.max_msgs} "
-            f"speedup={q.speedup:.1f}"
-        )
+        print(_quality_line(plan.kind, q))
+        return 0
+
+    if args.cmd == "simulate":
+        from repro.engine import available_methods as _methods
+        from repro.simulate import profiling as sim_profiling
+
+        if bool(args.matrix) == bool(args.mtx):
+            raise SystemExit("provide exactly one of --matrix / --mtx")
+        if args.all and args.scheme is not None:
+            raise SystemExit("--scheme conflicts with --all")
+        cfg = ExperimentConfig(scale=args.scale)
+        a = read_matrix_market(args.mtx) if args.mtx else _find_matrix(args.matrix, args.scale)
+        eng = _engine(a, cfg)
+        methods = _methods() if args.all else [args.scheme or "s2d"]
+        for method in methods:
+            plan = eng.plan(method, args.k, config=cfg.partitioner())
+            with sim_profiling.collect() as sprof:
+                run = eng.run(plan)
+            q = plan.quality()
+            print(_quality_line(plan.kind, q))
+            if args.profile:
+                print(sprof.stage_table())
+                for entry in run.breakdown(cfg.machine):
+                    print(
+                        f"  {entry['name']:<15} compute={entry['compute']:<10g} "
+                        f"bandwidth={entry['bandwidth']:<10g} "
+                        f"latency={entry['latency']:<10g}"
+                    )
         return 0
 
     return 1  # pragma: no cover

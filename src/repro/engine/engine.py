@@ -28,7 +28,7 @@ from dataclasses import astuple, dataclass, field
 import numpy as np
 
 from repro.dm.batch import BlockDM, batched_block_dm
-from repro.engine.registry import METHODS, resolve_method
+from repro.engine.registry import METHODS, available_methods, resolve_method
 from repro.hypergraph import PartitionConfig, PartitionProfile
 from repro.hypergraph import profiling as hg_profiling
 from repro.partition.types import SpMVPartition, VectorPartition
@@ -259,6 +259,36 @@ class PartitionEngine:
         """Memoized simulated SpMV execution of a plan."""
         xkey = ("run", plan.key, None if x is None else (x.shape, _digest(x)))
         return self._memo(xkey, lambda: run_partition(plan.partition, x))
+
+    def simulate_all(
+        self,
+        nparts: int,
+        methods=None,
+        *,
+        x: np.ndarray | None = None,
+        config: PartitionConfig | None = None,
+        **opts,
+    ) -> dict[str, SpMVRun]:
+        """Plan and execute every method's simulated SpMV in one batch.
+
+        ``methods`` defaults to every registered method.  All runs share
+        this engine's memoized intermediates — the s2D family reuses one
+        1D hypergraph vector partition and one block-analytics pass, and
+        repeated methods (or later :meth:`evaluate` calls) reuse the
+        cached :class:`~repro.simulate.machine.SpMVRun` — so simulating
+        the whole registry costs far less than independent executions.
+        Returns ``{canonical method name: run}`` in iteration order.
+        """
+        names = (
+            [resolve_method(m) for m in methods]
+            if methods is not None
+            else available_methods()
+        )
+        runs: dict[str, SpMVRun] = {}
+        for name in names:
+            plan = self.plan(name, nparts, config=config, **opts)
+            runs[name] = self.run(plan, x)
+        return runs
 
     def evaluate(
         self,

@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["concat_ranges", "concat_spans", "group_sum", "grouped_distinct_counts"]
+__all__ = [
+    "concat_ranges",
+    "concat_spans",
+    "group_sum",
+    "grouped_distinct_counts",
+    "in_sorted",
+    "pair_counts",
+    "unique_ints",
+]
 
 
 def concat_spans(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -48,6 +56,13 @@ def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
     return concat_spans(starts, lens)
 
 
+def _use_histogram(span: int, nitems: int) -> bool:
+    """Shared histogram-vs-sort policy for integer-key kernels: one
+    histogram pass wins while the key span stays within a constant
+    factor of the item count (or about 1M bins)."""
+    return span <= max(64 * nitems, 1 << 20)
+
+
 def group_sum(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Sum ``values`` by integer ``keys``; returns ``(unique_keys, sums)``.
 
@@ -62,7 +77,7 @@ def group_sum(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndar
         return keys.copy(), values.copy()
     kmin = int(keys.min())
     span = int(keys.max()) - kmin + 1
-    if span <= max(64 * keys.size, 1 << 20):
+    if _use_histogram(span, keys.size):
         shifted = keys - kmin
         counts = np.bincount(shifted, minlength=span)
         sums = np.bincount(shifted, weights=values, minlength=span)
@@ -73,6 +88,66 @@ def group_sum(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndar
     sums = np.zeros(uniq.size, dtype=values.dtype)
     np.add.at(sums, inv, values)
     return uniq, sums
+
+
+def in_sorted(haystack: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Boolean membership of each ``queries[i]`` in sorted ``haystack``.
+
+    The searchsorted-join kernel: one binary-search pass replaces a
+    per-element dict lookup loop.  ``haystack`` must be sorted ascending
+    (``np.unique`` output qualifies); duplicates are allowed.
+    """
+    haystack = np.asarray(haystack)
+    queries = np.asarray(queries)
+    if haystack.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    pos = np.searchsorted(haystack, queries)
+    pos[pos == haystack.size] = haystack.size - 1
+    return haystack[pos] == queries
+
+
+def pair_counts(
+    src: np.ndarray, dst: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Occurrence count of each distinct ``(src, dst)`` pair.
+
+    Returns ``(src, dst, counts)`` sorted by ``(src, dst)``; both inputs
+    must hold ids in ``[0, n)``.  This is the message-packet counting
+    kernel of the SpMV executors: every item stream contributes one word
+    to its (sender, receiver) packet.  The ``n²`` key domain is usually
+    tiny next to the item count, so a histogram replaces the sort
+    whenever it fits (same condition as :func:`group_sum`).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    keys = src * np.int64(n) + dst
+    span = int(n) * int(n)
+    if keys.size and _use_histogram(span, keys.size):
+        hist = np.bincount(keys, minlength=span)
+        uniq = np.flatnonzero(hist)
+        counts = hist[uniq]
+    else:
+        uniq, counts = np.unique(keys, return_counts=True)
+    return uniq // n, uniq % n, counts
+
+
+def unique_ints(keys: np.ndarray) -> np.ndarray:
+    """``np.unique`` for integer keys with a dense-range fastpath.
+
+    Dense key ranges dedupe with one boolean scatter (no comparison
+    sort, ``O(span + n)``); sparse ranges fall back to ``np.unique``.
+    Both return the sorted distinct keys.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return keys.copy()
+    kmin = int(keys.min())
+    span = int(keys.max()) - kmin + 1
+    if _use_histogram(span, keys.size):
+        seen = np.zeros(span, dtype=bool)
+        seen[keys - kmin] = True
+        return np.flatnonzero(seen) + kmin
+    return np.unique(keys)
 
 
 def grouped_distinct_counts(

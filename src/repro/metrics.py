@@ -26,8 +26,14 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def load_imbalance(loads: np.ndarray) -> float:
-    """``max/avg − 1`` of a per-processor load vector."""
+    """``max/avg − 1`` of a per-processor load vector.
+
+    An empty vector (no processors, or a phase nobody participates in)
+    is perfectly balanced by convention: 0.0, not a ``max()`` crash.
+    """
     loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        return 0.0
     avg = loads.mean()
     return float(loads.max() / avg - 1.0) if avg > 0 else 0.0
 

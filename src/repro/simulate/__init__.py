@@ -18,12 +18,22 @@ algorithms, not formulas.
 - :mod:`repro.simulate.bounded` — the mesh-routed fused exchange of
   s2D-b;
 - :mod:`repro.simulate.report` — one-call evaluation producing the
-  numbers the paper's tables report.
+  numbers the paper's tables report;
+- :mod:`repro.simulate.profiling` — ambient per-phase wall-clock
+  timing of the executors (CLI ``simulate --profile``);
+- :mod:`repro.simulate.legacy` — the seed executors, frozen as the
+  golden baseline for the vectorized ones (bit-identical ledgers).
 """
 
 from repro.simulate.bounded import run_s2d_bounded
+from repro.simulate.legacy import (
+    legacy_run_s2d_bounded,
+    legacy_run_single_phase,
+    legacy_run_two_phase,
+)
 from repro.simulate.machine import MachineModel, SpMVRun
 from repro.simulate.messages import Ledger
+from repro.simulate.profiling import SimulateProfile
 from repro.simulate.report import PartitionQuality, evaluate
 from repro.simulate.singlephase import run_single_phase
 from repro.simulate.twophase import run_two_phase
@@ -31,10 +41,14 @@ from repro.simulate.twophase import run_two_phase
 __all__ = [
     "Ledger",
     "MachineModel",
+    "SimulateProfile",
     "SpMVRun",
     "run_single_phase",
     "run_two_phase",
     "run_s2d_bounded",
+    "legacy_run_single_phase",
+    "legacy_run_two_phase",
+    "legacy_run_s2d_bounded",
     "evaluate",
     "PartitionQuality",
 ]

@@ -8,6 +8,13 @@ processors in one mesh column cross the row phase once, and partial
 results for the same ``y_i`` arriving from different senders in a mesh
 row are summed before being forwarded (those adds are charged as
 flops of the in-between combine step).
+
+Hop word counts come from :func:`~repro.kernels.pair_counts`, the
+mesh-containment and locality checks are vectorized assertions, and
+the combined-partial fold verifies delivery ownership before adding —
+the seed executor (preserved in :mod:`repro.simulate.legacy`) skipped
+the ``x`` size check, the nonzero-classification check and the fold
+ownership check.
 """
 
 from __future__ import annotations
@@ -15,8 +22,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
+from repro.kernels import group_sum, pair_counts, unique_ints
 from repro.partition.checkerboard import mesh_shape
 from repro.partition.types import SpMVPartition
+from repro.simulate import profiling
+from repro.simulate.common import check_fold_ownership, check_locality, delivery_keys
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
 
@@ -29,6 +39,7 @@ def run_s2d_bounded(
     shape: tuple[int, int] | None = None,
 ) -> SpMVRun:
     """Execute the two-hop routed single-phase SpMV under ``p``."""
+    profiling.note_run()
     p.validate_s2d()
     m = p.matrix
     nrows, ncols = m.shape
@@ -39,34 +50,40 @@ def run_s2d_bounded(
     if x is None:
         x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
     x = np.asarray(x, dtype=np.float64)
+    if x.size != ncols:
+        raise SimulationError(f"x has size {x.size}, expected {ncols}")
 
-    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    rows, cols = m.row, m.col
+    vals = np.asarray(m.data, dtype=np.float64)
     rp = p.vectors.y_part[rows]
     cp = p.vectors.x_part[cols]
     owner = p.nnz_part
     pre_mask = (owner == cp) & (rp != cp)
     main_mask = owner == rp
+    if not np.all(pre_mask ^ main_mask):
+        raise SimulationError("nonzero classification is not a partition")
 
     ledger = Ledger(k)
 
     # ---------------- Precompute --------------------------------------
-    flops_pre = np.zeros(k, dtype=np.int64)
-    np.add.at(flops_pre, owner[pre_mask], 2)
-    pkey = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
-    pkeys, inv = np.unique(pkey, return_inverse=True)
-    psums = np.zeros(pkeys.size, dtype=np.float64)
-    np.add.at(psums, inv, vals[pre_mask] * x[cols[pre_mask]])
-    y_src = (pkeys // nrows).astype(np.int64)
-    y_i = (pkeys % nrows).astype(np.int64)
-    y_dst = p.vectors.y_part[y_i]
+    with profiling.stage("precompute"):
+        flops_pre = 2 * np.bincount(owner[pre_mask], minlength=k).astype(np.int64)
+        # Partials keyed (producer, row): dense keys, bincount fastpath.
+        pk = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
+        pkeys, psums = group_sum(pk, vals[pre_mask] * x[cols[pre_mask]])
+        y_src = pkeys // nrows
+        y_i = pkeys % nrows
+        y_dst = p.vectors.y_part[y_i]
 
-    # x needs of the compute phase.
-    need_mask = main_mask & (cp != rp)
-    nk = (cp[need_mask].astype(np.int64) * k + rp[need_mask]) * ncols + cols[need_mask]
-    nkeys = np.unique(nk)
-    x_src = ((nkeys // ncols) // k).astype(np.int64)
-    x_dst = ((nkeys // ncols) % k).astype(np.int64)
-    x_j = (nkeys % ncols).astype(np.int64)
+        # x needs of the compute phase: the sender of x_j is its owner,
+        # a function of j, so delivery items deduplicate on the
+        # narrower (receiver, j) key — also the sorted join table of
+        # the compute-phase locality audit.
+        need_mask = main_mask & (cp != rp)
+        recv_keys = delivery_keys(rp[need_mask], cols[need_mask], ncols)
+        x_dst = recv_keys // ncols
+        x_j = recv_keys % ncols
+        x_src = p.vectors.x_part[x_j]
 
     def intermediate(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         return (src // pc) * pc + (dst % pc)
@@ -75,86 +92,97 @@ def run_s2d_bounded(
     y_t = intermediate(y_src, y_dst)
 
     # ---------------- Row phase (hop 1, with combining) ----------------
-    # x: unique (src, t, j) — one copy toward each mesh column.
-    x1 = np.unique((x_src * k + x_t) * ncols + x_j)
-    x1 = x1[(x1 // ncols) // k != (x1 // ncols) % k]  # drop src == t
-    # y: unique (src, t, i); value is the producer's partial.
-    hop1_y = y_t != y_src
-    pair1: dict[tuple[int, int], int] = {}
-    for key in x1:
-        s, t = int((key // ncols) // k), int((key // ncols) % k)
-        pair1[(s, t)] = pair1.get((s, t), 0) + 1
-    for s, t in zip(y_src[hop1_y], y_t[hop1_y]):
-        pair1[(int(s), int(t))] = pair1.get((int(s), int(t)), 0) + 1
-    for (s, t), words in sorted(pair1.items()):
-        ledger.record("route-row", s, t, words)
+    with profiling.stage("route-row"):
+        # x: unique (src, t, j) — one copy toward each mesh column.
+        # src is a function of j, so (t, j) identifies the copy; several
+        # final destinations in one mesh column collapse to one key.
+        x1 = unique_ints(x_t * np.int64(ncols) + x_j)
+        x1_t = x1 // ncols
+        x1_src = p.vectors.x_part[x1 % ncols]
+        hop1_x = x1_src != x1_t  # drop src == t
+        # y: unique (src, t, i); value is the producer's partial.
+        hop1_y = y_t != y_src
+        p1_src, p1_dst, p1_words = pair_counts(
+            np.concatenate((x1_src[hop1_x], y_src[hop1_y])),
+            np.concatenate((x1_t[hop1_x], y_t[hop1_y])),
+            k,
+        )
+        # Sanity: the row phase stays within one mesh row.
+        bad = np.flatnonzero(p1_src // pc != p1_dst // pc)
+        if bad.size:
+            t = bad[0]
+            raise SimulationError(
+                f"row-phase message {p1_src[t]}->{p1_dst[t]} leaves mesh row"
+            )
+        ledger.record_pairs("route-row", p1_src, p1_dst, p1_words)
 
     # State after hop 1: x values and partials present at intermediates.
     # (items whose hop-1 was a no-op are already "at" the source.)
 
     # ---------------- Combine at intermediates -------------------------
-    # Partials for the same (t, i) merge; each merge beyond the first is
-    # one add at t.
-    ckey = y_t * nrows + y_i
-    ckeys, cinv = np.unique(ckey, return_inverse=True)
-    csums = np.zeros(ckeys.size, dtype=np.float64)
-    np.add.at(csums, cinv, psums)
-    flops_combine = np.zeros(k, dtype=np.int64)
-    dup_counts = np.bincount(cinv, minlength=ckeys.size)
-    np.add.at(flops_combine, ckeys // nrows, dup_counts - 1)
-    c_t = (ckeys // nrows).astype(np.int64)
-    c_i = (ckeys % nrows).astype(np.int64)
-    c_dst = p.vectors.y_part[c_i]
+    with profiling.stage("combine"):
+        # Partials for the same (t, i) merge; each merge beyond the first
+        # is one add at t.
+        ckey = y_t * nrows + y_i
+        ckeys, csums = group_sum(ckey, psums)
+        pos = np.searchsorted(ckeys, ckey)
+        dup_counts = np.bincount(pos, minlength=ckeys.size)
+        c_t = ckeys // nrows
+        c_i = ckeys % nrows
+        # Destination of each combined packet, carried from the
+        # precompute items; the fold asserts it owns the row.  Like the
+        # locality audits, that is a consistency guard: both sides
+        # derive from the vector partition today, and the guard becomes
+        # load-bearing if the routing tables are ever built differently.
+        c_dst = np.empty(ckeys.size, dtype=np.int64)
+        c_dst[pos] = y_dst
+        flops_combine = np.bincount(
+            c_t, weights=dup_counts - 1, minlength=k
+        ).astype(np.int64)
 
     # ---------------- Column phase (hop 2) -----------------------------
-    hop2_x = x_t != x_dst
-    x2keys = np.unique((x_t[hop2_x] * k + x_dst[hop2_x]) * ncols + x_j[hop2_x])
-    hop2_y = c_t != c_dst
-    pair2: dict[tuple[int, int], int] = {}
-    for key in x2keys:
-        t, d = int((key // ncols) // k), int((key // ncols) % k)
-        pair2[(t, d)] = pair2.get((t, d), 0) + 1
-    for t, d in zip(c_t[hop2_y], c_dst[hop2_y]):
-        pair2[(int(t), int(d))] = pair2.get((int(t), int(d)), 0) + 1
-    for (t, d), words in sorted(pair2.items()):
-        ledger.record("route-col", t, d, words)
-
-    # Sanity: every hop stays within one mesh row / one mesh column.
-    for (s, t) in pair1:
-        if s // pc != t // pc:
-            raise SimulationError(f"row-phase message {s}->{t} leaves mesh row")
-    for (t, d) in pair2:
-        if t % pc != d % pc:
-            raise SimulationError(f"column-phase message {t}->{d} leaves mesh column")
+    with profiling.stage("route-col"):
+        # (dst, j) pairs are already unique, and t is a function of
+        # (owner(j), dst) — no dedup needed for the second hop.
+        hop2_x = x_t != x_dst
+        hop2_y = c_t != c_dst
+        p2_src, p2_dst, p2_words = pair_counts(
+            np.concatenate((x_t[hop2_x], c_t[hop2_y])),
+            np.concatenate((x_dst[hop2_x], c_dst[hop2_y])),
+            k,
+        )
+        # Sanity: the column phase stays within one mesh column.
+        bad = np.flatnonzero(p2_src % pc != p2_dst % pc)
+        if bad.size:
+            t = bad[0]
+            raise SimulationError(
+                f"column-phase message {p2_src[t]}->{p2_dst[t]} leaves mesh column"
+            )
+        ledger.record_pairs("route-col", p2_src, p2_dst, p2_words)
 
     # ---------------- Compute ------------------------------------------
-    flops_main = np.zeros(k, dtype=np.int64)
-    np.add.at(flops_main, owner[main_mask], 2)
-    # x availability at destinations: routed items x_dst received x_j.
-    recv_x = {(int(d), int(j)): x[j] for d, j in zip(x_dst, x_j)}
-    xs = np.empty(int(np.count_nonzero(main_mask)), dtype=np.float64)
-    mrows = rows[main_mask]
-    mcols = cols[main_mask]
-    mvals = vals[main_mask]
-    mown = owner[main_mask]
-    local = cp[main_mask] == mown
-    xs[local] = x[mcols[local]]
-    for tt in np.flatnonzero(~local):
-        key = (int(mown[tt]), int(mcols[tt]))
-        if key not in recv_x:
-            raise SimulationError(
-                f"P{mown[tt]} multiplied with x[{mcols[tt]}] it neither owns nor received"
-            )
-        xs[tt] = recv_x[key]
-    y = np.zeros(nrows, dtype=np.float64)
-    np.add.at(y, mrows, mvals * xs)
-    # Fold in the (combined) partials at their owners.
-    np.add.at(y, c_i, csums)
-    np.add.at(flops_main, c_dst, 1)
+    with profiling.stage("compute"):
+        flops_main = 2 * np.bincount(owner[main_mask], minlength=k).astype(np.int64)
+        mrows = rows[main_mask]
+        mcols = cols[main_mask]
+        mvals = vals[main_mask]
+        mown = owner[main_mask]
+        # Locality audit: routed (dst, j) deliveries must cover every
+        # non-local x read.
+        nonlocal_mask = cp[main_mask] != mown
+        check_locality(recv_keys, mown[nonlocal_mask], mcols[nonlocal_mask], ncols)
+        y = np.bincount(mrows, weights=mvals * x[mcols], minlength=nrows)
+        # Fold in the (combined) partials — only at rows the receiving
+        # processor actually owns.
+        check_fold_ownership(p.vectors.y_part, c_i, c_dst, what="combined partial")
+        if c_i.size:
+            y += np.bincount(c_i, weights=csums, minlength=nrows)
+            flops_main += np.bincount(c_dst, minlength=k).astype(np.int64)
 
-    ref = m @ x
-    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
-        raise SimulationError("s2D-b SpMV result differs from serial A @ x")
+    with profiling.stage("verify"):
+        ref = m @ x
+        if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+            raise SimulationError("s2D-b SpMV result differs from serial A @ x")
 
     return SpMVRun(
         y=y,

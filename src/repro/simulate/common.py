@@ -1,0 +1,64 @@
+"""Helpers shared by the three SpMV executors.
+
+The executors differ in *which* items travel (fused packets, expand
+words, two-hop routed copies) but agree on the bookkeeping around
+them: the delivered ``(receiver, j)`` key table, the locality audit
+against it, and the fold-time ownership guard.  Keeping those here
+means a change to the audit semantics or messages lands in every
+executor at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.kernels import in_sorted, unique_ints
+
+__all__ = ["delivery_keys", "check_locality", "check_fold_ownership"]
+
+
+def delivery_keys(receivers: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
+    """Sorted distinct ``receiver·ncols + j`` delivery keys.
+
+    The sender of ``x_j`` is its owner — a function of ``j`` — so this
+    narrow key identifies each delivered x word; the sorted table
+    doubles as the join side of :func:`check_locality`.
+    """
+    return unique_ints(receivers.astype(np.int64) * ncols + cols)
+
+
+def check_locality(
+    recv_keys: np.ndarray, proc: np.ndarray, col: np.ndarray, ncols: int
+) -> None:
+    """Raise unless every ``(proc[i], col[i])`` x read was delivered.
+
+    ``recv_keys`` is a :func:`delivery_keys` table; ``proc``/``col``
+    list the non-local reads of the compute phase.  One searchsorted
+    join replaces the seed's per-nonzero dict probe.
+    """
+    need_keys = proc * np.int64(ncols) + col
+    missing = np.flatnonzero(~in_sorted(recv_keys, need_keys))
+    if missing.size:
+        t = missing[0]
+        raise SimulationError(
+            f"P{proc[t]} multiplied with x[{col[t]}] it neither owns nor received"
+        )
+
+
+def check_fold_ownership(
+    y_part: np.ndarray, rows: np.ndarray, dst: np.ndarray, what: str = "partial"
+) -> None:
+    """Raise unless each folded ``rows[i]`` is owned by its ``dst[i]``.
+
+    A consistency guard (the delivery tables derive from the vector
+    partition today, so it cannot fire) that becomes load-bearing the
+    moment deliveries are built any other way, e.g. by a real message
+    backend.
+    """
+    wrong = np.flatnonzero(y_part[rows] != dst)
+    if wrong.size:
+        t = wrong[0]
+        raise SimulationError(
+            f"{what} for y[{rows[t]}] delivered to non-owner P{dst[t]}"
+        )

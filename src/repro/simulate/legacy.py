@@ -1,0 +1,358 @@
+"""Seed SpMV executors, preserved verbatim as the golden baseline.
+
+These are the pre-kernel implementations of the three simulated
+executors — pair-counting dicts, per-nonzero ``recv_x`` lookups and
+per-word partial folds in Python loops.  The vectorized executors in
+:mod:`repro.simulate.singlephase` / ``twophase`` / ``bounded`` must
+produce *bit-identical ledgers* (same phases, same (src, dst) pairs,
+same word counts) and the same ``y``; ``tests/test_simulate_legacy_golden.py``
+pins this on the generator suite and ``benchmarks/bench_simulate.py``
+uses these as the timing baseline.
+
+Do not modernise this module: its value is being frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.kernels import group_sum
+from repro.partition.checkerboard import mesh_shape
+from repro.partition.types import SpMVPartition
+from repro.simulate.machine import PhaseCost, SpMVRun
+from repro.simulate.messages import Ledger
+
+__all__ = [
+    "legacy_run_single_phase",
+    "legacy_run_two_phase",
+    "legacy_run_s2d_bounded",
+]
+
+PHASE = "expand-and-fold"
+
+
+def legacy_run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
+    """Seed single-phase executor (dict-based message assembly)."""
+    p.validate_s2d()
+    m = p.matrix
+    nrows, ncols = m.shape
+    k = p.nparts
+    if x is None:
+        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
+    x = np.asarray(x, dtype=np.float64)
+    if x.size != ncols:
+        raise SimulationError(f"x has size {x.size}, expected {ncols}")
+
+    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    rp = p.vectors.y_part[rows]
+    cp = p.vectors.x_part[cols]
+    owner = p.nnz_part
+
+    pre_mask = (owner == cp) & (rp != cp)
+    main_mask = owner == rp
+    if not np.all(pre_mask ^ main_mask):
+        raise SimulationError("nonzero classification is not a partition")
+
+    ledger = Ledger(k)
+
+    # ---------------- Phase 1: Precompute -----------------------------
+    flops_pre = np.zeros(k, dtype=np.int64)
+    np.add.at(flops_pre, owner[pre_mask], 2)
+    if not np.all(cp[pre_mask] == owner[pre_mask]):
+        raise SimulationError("precompute touched a non-local x entry")
+    pk = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
+    pkeys, psums = group_sum(pk, vals[pre_mask] * x[cols[pre_mask]])
+    part_src = pkeys // nrows
+    part_row = pkeys % nrows
+    part_dst = p.vectors.y_part[part_row]
+    if np.any(part_src == part_dst):
+        raise SimulationError("a precomputed partial is already local")
+
+    # ---------------- Phase 2: Expand-and-Fold ------------------------
+    need_mask = main_mask & (cp != rp)
+    nk = (cp[need_mask].astype(np.int64) * k + rp[need_mask]) * ncols + cols[need_mask]
+    nkeys = np.unique(nk)
+    x_src = (nkeys // ncols) // k
+    x_dst = (nkeys // ncols) % k
+    x_j = nkeys % ncols
+
+    pair_words: dict[tuple[int, int], int] = {}
+    for s, d in zip(x_src, x_dst):
+        pair_words[(int(s), int(d))] = pair_words.get((int(s), int(d)), 0) + 1
+    for s, d in zip(part_src, part_dst):
+        pair_words[(int(s), int(d))] = pair_words.get((int(s), int(d)), 0) + 1
+    for (s, d), words in sorted(pair_words.items()):
+        ledger.record(PHASE, s, d, words)
+
+    recv_x = {}  # (dst, j) -> value
+    for s, d, j in zip(x_src, x_dst, x_j):
+        recv_x[(int(d), int(j))] = x[j]
+    recv_partial_rows: dict[int, list] = {}
+    for s, d, i, v in zip(part_src, part_dst, part_row, psums):
+        recv_partial_rows.setdefault(int(d), []).append((int(i), float(v)))
+
+    # ---------------- Phase 3: Compute --------------------------------
+    flops_main = np.zeros(k, dtype=np.int64)
+    np.add.at(flops_main, owner[main_mask], 2)
+    y = np.zeros(nrows, dtype=np.float64)
+    xs = np.empty(int(np.count_nonzero(main_mask)), dtype=np.float64)
+    mrows = rows[main_mask]
+    mcols = cols[main_mask]
+    mvals = vals[main_mask]
+    mown = owner[main_mask]
+    local = cp[main_mask] == mown
+    xs[local] = x[mcols[local]]
+    for t in np.flatnonzero(~local):
+        key = (int(mown[t]), int(mcols[t]))
+        if key not in recv_x:
+            raise SimulationError(
+                f"P{mown[t]} multiplied with x[{mcols[t]}] it neither owns nor received"
+            )
+        xs[t] = recv_x[key]
+    np.add.at(y, mrows, mvals * xs)
+    for d, items in recv_partial_rows.items():
+        for i, v in items:
+            if p.vectors.y_part[i] != d:
+                raise SimulationError(f"partial for y[{i}] delivered to non-owner P{d}")
+            y[i] += v
+            flops_main[d] += 1
+
+    ref = m @ x
+    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+        raise SimulationError("single-phase SpMV result differs from serial A @ x")
+
+    return SpMVRun(
+        y=y,
+        ledger=ledger,
+        phases=[
+            PhaseCost("precompute", flops=flops_pre),
+            PhaseCost(PHASE, comm_phase=PHASE),
+            PhaseCost("compute", flops=flops_main),
+        ],
+        nnz=int(m.nnz),
+        kind=p.kind,
+    )
+
+
+def legacy_run_two_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
+    """Seed two-phase executor (dict-based expand delivery)."""
+    m = p.matrix
+    nrows, ncols = m.shape
+    k = p.nparts
+    if x is None:
+        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
+    x = np.asarray(x, dtype=np.float64)
+    if x.size != ncols:
+        raise SimulationError(f"x has size {x.size}, expected {ncols}")
+
+    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    owner = p.nnz_part
+    x_owner_of_nnz = p.vectors.x_part[cols]
+
+    ledger = Ledger(k)
+
+    # ---------------- Phase 1: Expand ---------------------------------
+    need = x_owner_of_nnz != owner
+    nk = (x_owner_of_nnz[need].astype(np.int64) * k + owner[need]) * ncols + cols[need]
+    nkeys = np.unique(nk)
+    e_dst = (nkeys // ncols) % k
+    e_j = nkeys % ncols
+    pair_keys, pair_counts = np.unique(nkeys // ncols, return_counts=True)
+    for pk, c in zip(pair_keys, pair_counts):
+        ledger.record("expand", int(pk // k), int(pk % k), int(c))
+    recv_x = {(int(d), int(j)): x[j] for d, j in zip(e_dst, e_j)}
+
+    # ---------------- Phase 2: Compute --------------------------------
+    flops = np.zeros(k, dtype=np.int64)
+    np.add.at(flops, owner, 2)
+    xs = np.empty(rows.size, dtype=np.float64)
+    local = ~need
+    xs[local] = x[cols[local]]
+    for t in np.flatnonzero(need):
+        key = (int(owner[t]), int(cols[t]))
+        if key not in recv_x:
+            raise SimulationError(
+                f"P{owner[t]} multiplied with x[{cols[t]}] it neither owns nor received"
+            )
+        xs[t] = recv_x[key]
+    pk = owner.astype(np.int64) * nrows + rows
+    pkeys, psums = group_sum(pk, vals * xs)
+    p_holder = pkeys // nrows
+    p_row = pkeys % nrows
+    p_dst = p.vectors.y_part[p_row]
+
+    # ---------------- Phase 3: Fold -----------------------------------
+    away = p_holder != p_dst
+    fold_pairs, fold_counts = np.unique(
+        p_holder[away] * k + p_dst[away], return_counts=True
+    )
+    for pk2, c in zip(fold_pairs, fold_counts):
+        ledger.record("fold", int(pk2 // k), int(pk2 % k), int(c))
+
+    y = np.zeros(nrows, dtype=np.float64)
+    np.add.at(y, p_row[~away], psums[~away])
+    flops_agg = np.zeros(k, dtype=np.int64)
+    np.add.at(y, p_row[away], psums[away])
+    np.add.at(flops_agg, p_dst[away], 1)
+
+    ref = m @ x
+    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+        raise SimulationError("two-phase SpMV result differs from serial A @ x")
+
+    return SpMVRun(
+        y=y,
+        ledger=ledger,
+        phases=[
+            PhaseCost("expand", comm_phase="expand"),
+            PhaseCost("compute", flops=flops),
+            PhaseCost("fold", comm_phase="fold"),
+            PhaseCost("aggregate", flops=flops_agg),
+        ],
+        nnz=int(m.nnz),
+        kind=p.kind,
+    )
+
+
+def legacy_run_s2d_bounded(
+    p: SpMVPartition,
+    x: np.ndarray | None = None,
+    shape: tuple[int, int] | None = None,
+) -> SpMVRun:
+    """Seed mesh-routed executor (dict-based hop assembly).
+
+    Note: the seed accepted a wrongly-sized ``x`` silently, skipped the
+    nonzero-classification check and folded combined partials without
+    verifying ownership; the vectorized executor fixes all three.  For
+    *valid* inputs both produce identical runs.
+    """
+    p.validate_s2d()
+    m = p.matrix
+    nrows, ncols = m.shape
+    k = p.nparts
+    pr, pc = shape if shape is not None else p.meta.get("mesh", mesh_shape(k))
+    if pr * pc != k:
+        raise ConfigError(f"mesh {pr}x{pc} does not cover {k} processors")
+    if x is None:
+        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
+    x = np.asarray(x, dtype=np.float64)
+
+    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    rp = p.vectors.y_part[rows]
+    cp = p.vectors.x_part[cols]
+    owner = p.nnz_part
+    pre_mask = (owner == cp) & (rp != cp)
+    main_mask = owner == rp
+
+    ledger = Ledger(k)
+
+    # ---------------- Precompute --------------------------------------
+    flops_pre = np.zeros(k, dtype=np.int64)
+    np.add.at(flops_pre, owner[pre_mask], 2)
+    pkey = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
+    pkeys, inv = np.unique(pkey, return_inverse=True)
+    psums = np.zeros(pkeys.size, dtype=np.float64)
+    np.add.at(psums, inv, vals[pre_mask] * x[cols[pre_mask]])
+    y_src = (pkeys // nrows).astype(np.int64)
+    y_i = (pkeys % nrows).astype(np.int64)
+    y_dst = p.vectors.y_part[y_i]
+
+    need_mask = main_mask & (cp != rp)
+    nk = (cp[need_mask].astype(np.int64) * k + rp[need_mask]) * ncols + cols[need_mask]
+    nkeys = np.unique(nk)
+    x_src = ((nkeys // ncols) // k).astype(np.int64)
+    x_dst = ((nkeys // ncols) % k).astype(np.int64)
+    x_j = (nkeys % ncols).astype(np.int64)
+
+    def intermediate(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return (src // pc) * pc + (dst % pc)
+
+    x_t = intermediate(x_src, x_dst)
+    y_t = intermediate(y_src, y_dst)
+
+    # ---------------- Row phase (hop 1, with combining) ----------------
+    x1 = np.unique((x_src * k + x_t) * ncols + x_j)
+    x1 = x1[(x1 // ncols) // k != (x1 // ncols) % k]  # drop src == t
+    hop1_y = y_t != y_src
+    pair1: dict[tuple[int, int], int] = {}
+    for key in x1:
+        s, t = int((key // ncols) // k), int((key // ncols) % k)
+        pair1[(s, t)] = pair1.get((s, t), 0) + 1
+    for s, t in zip(y_src[hop1_y], y_t[hop1_y]):
+        pair1[(int(s), int(t))] = pair1.get((int(s), int(t)), 0) + 1
+    for (s, t), words in sorted(pair1.items()):
+        ledger.record("route-row", s, t, words)
+
+    # ---------------- Combine at intermediates -------------------------
+    ckey = y_t * nrows + y_i
+    ckeys, cinv = np.unique(ckey, return_inverse=True)
+    csums = np.zeros(ckeys.size, dtype=np.float64)
+    np.add.at(csums, cinv, psums)
+    flops_combine = np.zeros(k, dtype=np.int64)
+    dup_counts = np.bincount(cinv, minlength=ckeys.size)
+    np.add.at(flops_combine, ckeys // nrows, dup_counts - 1)
+    c_t = (ckeys // nrows).astype(np.int64)
+    c_i = (ckeys % nrows).astype(np.int64)
+    c_dst = p.vectors.y_part[c_i]
+
+    # ---------------- Column phase (hop 2) -----------------------------
+    hop2_x = x_t != x_dst
+    x2keys = np.unique((x_t[hop2_x] * k + x_dst[hop2_x]) * ncols + x_j[hop2_x])
+    hop2_y = c_t != c_dst
+    pair2: dict[tuple[int, int], int] = {}
+    for key in x2keys:
+        t, d = int((key // ncols) // k), int((key // ncols) % k)
+        pair2[(t, d)] = pair2.get((t, d), 0) + 1
+    for t, d in zip(c_t[hop2_y], c_dst[hop2_y]):
+        pair2[(int(t), int(d))] = pair2.get((int(t), int(d)), 0) + 1
+    for (t, d), words in sorted(pair2.items()):
+        ledger.record("route-col", t, d, words)
+
+    for (s, t) in pair1:
+        if s // pc != t // pc:
+            raise SimulationError(f"row-phase message {s}->{t} leaves mesh row")
+    for (t, d) in pair2:
+        if t % pc != d % pc:
+            raise SimulationError(f"column-phase message {t}->{d} leaves mesh column")
+
+    # ---------------- Compute ------------------------------------------
+    flops_main = np.zeros(k, dtype=np.int64)
+    np.add.at(flops_main, owner[main_mask], 2)
+    recv_x = {(int(d), int(j)): x[j] for d, j in zip(x_dst, x_j)}
+    xs = np.empty(int(np.count_nonzero(main_mask)), dtype=np.float64)
+    mrows = rows[main_mask]
+    mcols = cols[main_mask]
+    mvals = vals[main_mask]
+    mown = owner[main_mask]
+    local = cp[main_mask] == mown
+    xs[local] = x[mcols[local]]
+    for tt in np.flatnonzero(~local):
+        key = (int(mown[tt]), int(mcols[tt]))
+        if key not in recv_x:
+            raise SimulationError(
+                f"P{mown[tt]} multiplied with x[{mcols[tt]}] it neither owns nor received"
+            )
+        xs[tt] = recv_x[key]
+    y = np.zeros(nrows, dtype=np.float64)
+    np.add.at(y, mrows, mvals * xs)
+    np.add.at(y, c_i, csums)
+    np.add.at(flops_main, c_dst, 1)
+
+    ref = m @ x
+    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+        raise SimulationError("s2D-b SpMV result differs from serial A @ x")
+
+    return SpMVRun(
+        y=y,
+        ledger=ledger,
+        phases=[
+            PhaseCost("precompute", flops=flops_pre),
+            PhaseCost("route-row", comm_phase="route-row"),
+            PhaseCost("combine", flops=flops_combine),
+            PhaseCost("route-col", comm_phase="route-col"),
+            PhaseCost("compute", flops=flops_main),
+        ],
+        nnz=int(m.nnz),
+        kind=p.kind or "s2D-b",
+        meta={"mesh": (pr, pc)},
+    )

@@ -24,6 +24,9 @@ class Ledger:
         self.nparts = int(nparts)
         self._phases: dict[str, dict[tuple[int, int], int]] = {}
         self._order: list[str] = []
+        # Per-phase (sent_v, recv_v, sent_m, recv_m) aggregates, computed
+        # lazily and invalidated whenever the phase's book changes.
+        self._agg: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
 
@@ -47,6 +50,72 @@ class Ledger:
                 "executors must aggregate into one packet per pair per phase"
             )
         book[(src, dst)] = int(words)
+        self._agg.pop(phase, None)
+
+    def record_pairs(
+        self,
+        phase: str,
+        src: np.ndarray,
+        dst: np.ndarray,
+        words: np.ndarray,
+    ) -> None:
+        """Bulk-record one message per ``(src[i], dst[i])`` pair.
+
+        The vectorized counterpart of :meth:`record`: all validation
+        (positive words, no self-messages, range, no duplicate pairs —
+        within the batch or against messages already booked) runs as
+        array operations, and the resulting book is identical to
+        recording each pair individually.  An empty batch is a no-op
+        and does not open the phase.
+        """
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        words = np.asarray(words, dtype=np.int64).ravel()
+        if not (src.size == dst.size == words.size):
+            raise SimulationError("record_pairs arrays must have equal sizes")
+        if src.size == 0:
+            return
+        bad = np.flatnonzero(words <= 0)
+        if bad.size:
+            t = bad[0]
+            raise SimulationError(
+                f"empty message {src[t]}->{dst[t]} in phase {phase!r}"
+            )
+        bad = np.flatnonzero(src == dst)
+        if bad.size:
+            raise SimulationError(f"self-message at P{src[bad[0]]} in phase {phase!r}")
+        if min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= self.nparts:
+            sel = (src < 0) | (src >= self.nparts) | (dst < 0) | (dst >= self.nparts)
+            t = np.flatnonzero(sel)[0]
+            raise SimulationError(
+                f"message {src[t]}->{dst[t]} outside 0..{self.nparts - 1}"
+            )
+        keys = src * np.int64(self.nparts) + dst
+        sorted_keys = np.sort(keys)
+        if sorted_keys.size > 1 and np.any(np.diff(sorted_keys) == 0):
+            dup = sorted_keys[np.flatnonzero(np.diff(sorted_keys) == 0)[0]]
+            raise SimulationError(
+                f"duplicate message {dup // self.nparts}->{dup % self.nparts} "
+                f"in phase {phase!r}; executors must aggregate into one packet "
+                "per pair per phase"
+            )
+        book = self._phases.get(phase)
+        if book is None:
+            self._phases[phase] = book = {}
+            self._order.append(phase)
+        elif book:
+            existing = np.fromiter(
+                (s * self.nparts + d for s, d in book), dtype=np.int64, count=len(book)
+            )
+            clash = np.flatnonzero(np.isin(keys, existing))
+            if clash.size:
+                t = clash[0]
+                raise SimulationError(
+                    f"duplicate message {src[t]}->{dst[t]} in phase {phase!r}; "
+                    "executors must aggregate into one packet per pair per phase"
+                )
+        book.update(zip(zip(src.tolist(), dst.tolist()), words.tolist()))
+        self._agg.pop(phase, None)
 
     # ------------------------------------------------------------------
 
@@ -55,21 +124,44 @@ class Ledger:
         return list(self._order)
 
     def _arrays(self, phase: str) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cached = self._agg.get(phase)
+        if cached is not None:
+            return cached
         sent_v = np.zeros(self.nparts, dtype=np.int64)
         recv_v = np.zeros(self.nparts, dtype=np.int64)
         sent_m = np.zeros(self.nparts, dtype=np.int64)
         recv_m = np.zeros(self.nparts, dtype=np.int64)
-        for (src, dst), words in self._phases.get(phase, {}).items():
-            sent_v[src] += words
-            recv_v[dst] += words
-            sent_m[src] += 1
-            recv_m[dst] += 1
-        return sent_v, recv_v, sent_m, recv_m
+        book = self._phases.get(phase, {})
+        if book:
+            pairs = np.array(list(book.keys()), dtype=np.int64)
+            w = np.fromiter(book.values(), dtype=np.int64, count=len(book))
+            src, dst = pairs[:, 0], pairs[:, 1]
+            np.add.at(sent_v, src, w)
+            np.add.at(recv_v, dst, w)
+            np.add.at(sent_m, src, 1)
+            np.add.at(recv_m, dst, 1)
+        arrays = (sent_v, recv_v, sent_m, recv_m)
+        self._agg[phase] = arrays
+        return arrays
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """JSON-friendly snapshot: ``{phase: {"src->dst": words}}``.
+
+        Pairs are listed in sorted order, so two ledgers with the same
+        messages snapshot identically regardless of recording order —
+        the golden tests and the benchmark compare executors with this.
+        """
+        return {
+            phase: {
+                f"{s}->{d}": w for (s, d), w in sorted(self._phases[phase].items())
+            }
+            for phase in self._order
+        }
 
     def sent_volume(self, phase: str | None = None) -> np.ndarray:
         """Words sent per processor (one phase, or all phases summed)."""
         if phase is not None:
-            return self._arrays(phase)[0]
+            return self._arrays(phase)[0].copy()
         total = np.zeros(self.nparts, dtype=np.int64)
         for name in self._order:
             total += self._arrays(name)[0]
@@ -77,7 +169,7 @@ class Ledger:
 
     def recv_volume(self, phase: str | None = None) -> np.ndarray:
         if phase is not None:
-            return self._arrays(phase)[1]
+            return self._arrays(phase)[1].copy()
         total = np.zeros(self.nparts, dtype=np.int64)
         for name in self._order:
             total += self._arrays(name)[1]
@@ -85,7 +177,7 @@ class Ledger:
 
     def sent_msgs(self, phase: str | None = None) -> np.ndarray:
         if phase is not None:
-            return self._arrays(phase)[2]
+            return self._arrays(phase)[2].copy()
         total = np.zeros(self.nparts, dtype=np.int64)
         for name in self._order:
             total += self._arrays(name)[2]
@@ -93,7 +185,7 @@ class Ledger:
 
     def recv_msgs(self, phase: str | None = None) -> np.ndarray:
         if phase is not None:
-            return self._arrays(phase)[3]
+            return self._arrays(phase)[3].copy()
         total = np.zeros(self.nparts, dtype=np.int64)
         for name in self._order:
             total += self._arrays(name)[3]

@@ -1,0 +1,94 @@
+"""Per-phase wall-clock timing of the SpMV executors.
+
+Mirrors :mod:`repro.hypergraph.profiling`: wrap any code in
+:func:`collect` and every executor phase run inside the ``with`` block
+(precompute, message assembly, compute, verification — however deeply
+nested inside :meth:`repro.engine.PartitionEngine.run`) accumulates
+into the yielded :class:`SimulateProfile`.  The CLI's
+``simulate --profile`` flag and the simulation benchmark use this to
+show where executor time goes without threading an argument through
+every call site.
+
+The ambient collector is a module global; the library is single-
+threaded by design, matching the rest of the reproduction harness.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["SimulateProfile", "collect", "active_profile", "stage", "note_run"]
+
+
+@dataclass
+class SimulateProfile:
+    """Accumulated per-phase wall-clock seconds of one (or more) runs."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+    runs: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.stages.values())
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def as_dict(self) -> dict:
+        return {**self.stages, "total_s": self.total_s, "runs": self.runs}
+
+    def stage_table(self) -> str:
+        """Human-readable per-phase breakdown (the CLI ``--profile`` view)."""
+        lines = ["phase          seconds   share"]
+        denom = self.total_s or 1.0
+        for name, s in self.stages.items():
+            lines.append(f"{name:<13} {s:8.4f}  {100.0 * s / denom:5.1f}%")
+        lines.append(f"{'total':<13} {self.total_s:8.4f}")
+        return "\n".join(lines)
+
+
+_ACTIVE: SimulateProfile | None = None
+
+
+def active_profile() -> SimulateProfile | None:
+    """The ambient profile collector, if a :func:`collect` block is open."""
+    return _ACTIVE
+
+
+def note_run() -> None:
+    """Count one executor invocation against the ambient collector."""
+    if _ACTIVE is not None:
+        _ACTIVE.runs += 1
+
+
+@contextmanager
+def stage(name: str):
+    """Time a block and charge it to ``name`` when a collector is open.
+
+    A no-op (beyond one global read) when no :func:`collect` block is
+    active, so the executors call it unconditionally.
+    """
+    prof = _ACTIVE
+    if prof is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        prof.add(name, time.perf_counter() - t0)
+
+
+@contextmanager
+def collect(profile: SimulateProfile | None = None):
+    """Collect executor phase timings from everything run inside."""
+    global _ACTIVE
+    prof = profile if profile is not None else SimulateProfile()
+    prev = _ACTIVE
+    _ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = prev

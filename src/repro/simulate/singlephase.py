@@ -16,6 +16,13 @@ packet degenerates to the classic expand — the generalization property
 the paper notes.  The executor enforces data locality: a processor only
 multiplies with x values it owns or has received, and the assembled
 output is verified against the serial product.
+
+Every step is an array kernel (:mod:`repro.kernels`): packet word
+counts come from :func:`~repro.kernels.pair_counts`, the locality
+audit is a :func:`~repro.kernels.in_sorted` searchsorted join against
+the delivered ``(receiver, j)`` key set, and partial folds are
+scatter-adds.  The seed implementation is preserved in
+:mod:`repro.simulate.legacy`; ledgers are bit-identical.
 """
 
 from __future__ import annotations
@@ -23,8 +30,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.kernels import group_sum
+from repro.kernels import group_sum, pair_counts
 from repro.partition.types import SpMVPartition
+from repro.simulate import profiling
+from repro.simulate.common import check_fold_ownership, check_locality, delivery_keys
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
 
@@ -39,6 +48,7 @@ def run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     ``p`` must be s2D-admissible (1D rowwise/columnwise partitions are,
     trivially).  Returns the simulated run; ``run.y`` equals ``A @ x``.
     """
+    profiling.note_run()
     p.validate_s2d()
     m = p.matrix
     nrows, ncols = m.shape
@@ -49,7 +59,8 @@ def run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     if x.size != ncols:
         raise SimulationError(f"x has size {x.size}, expected {ncols}")
 
-    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    rows, cols = m.row, m.col
+    vals = np.asarray(m.data, dtype=np.float64)
     rp = p.vectors.y_part[rows]
     cp = p.vectors.x_part[cols]
     owner = p.nnz_part
@@ -64,79 +75,70 @@ def run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     ledger = Ledger(k)
 
     # ---------------- Phase 1: Precompute -----------------------------
-    flops_pre = np.zeros(k, dtype=np.int64)
-    np.add.at(flops_pre, owner[pre_mask], 2)
-    # Locality: the x value used here must be owned by the computing proc.
-    if not np.all(cp[pre_mask] == owner[pre_mask]):
-        raise SimulationError("precompute touched a non-local x entry")
-    # Partials ȳ_i accumulated at their producer: key (producer, i).
-    # Partials are keyed (producer, row): a dense key range, so the
-    # shared kernel's bincount fastpath applies.
-    pk = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
-    pkeys, psums = group_sum(pk, vals[pre_mask] * x[cols[pre_mask]])
-    part_src = pkeys // nrows
-    part_row = pkeys % nrows
-    part_dst = p.vectors.y_part[part_row]
-    if np.any(part_src == part_dst):
-        raise SimulationError("a precomputed partial is already local")
+    with profiling.stage("precompute"):
+        flops_pre = 2 * np.bincount(owner[pre_mask], minlength=k).astype(np.int64)
+        # Locality: the x value used here must be owned by the computing proc.
+        if not np.all(cp[pre_mask] == owner[pre_mask]):
+            raise SimulationError("precompute touched a non-local x entry")
+        # Partials ȳ_i accumulated at their producer: key (producer, i).
+        # Partials are keyed (producer, row): a dense key range, so the
+        # shared kernel's bincount fastpath applies.
+        pk = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
+        pkeys, psums = group_sum(pk, vals[pre_mask] * x[cols[pre_mask]])
+        part_src = pkeys // nrows
+        part_row = pkeys % nrows
+        part_dst = p.vectors.y_part[part_row]
+        if np.any(part_src == part_dst):
+            raise SimulationError("a precomputed partial is already local")
 
     # ---------------- Phase 2: Expand-and-Fold ------------------------
-    # x needs: row-side off-diagonal nonzeros read x they do not own.
-    need_mask = main_mask & (cp != rp)
-    nk = (cp[need_mask].astype(np.int64) * k + rp[need_mask]) * ncols + cols[need_mask]
-    nkeys = np.unique(nk)
-    x_src = (nkeys // ncols) // k
-    x_dst = (nkeys // ncols) % k
-    x_j = nkeys % ncols
+    with profiling.stage("exchange"):
+        # x needs: row-side off-diagonal nonzeros read x they do not own.
+        # The sender of x_j is its owner — a function of j — so the
+        # delivery items deduplicate on the narrower (receiver, j) key,
+        # which doubles as the sorted join table of the locality audit.
+        need_mask = main_mask & (cp != rp)
+        recv_keys = delivery_keys(rp[need_mask], cols[need_mask], ncols)
+        x_dst = recv_keys // ncols
+        x_j = recv_keys % ncols
+        x_src = p.vectors.x_part[x_j]
 
-    # One fused packet per communicating pair: count words per (src, dst).
-    pair_words: dict[tuple[int, int], int] = {}
-    for s, d in zip(x_src, x_dst):
-        pair_words[(int(s), int(d))] = pair_words.get((int(s), int(d)), 0) + 1
-    for s, d in zip(part_src, part_dst):
-        pair_words[(int(s), int(d))] = pair_words.get((int(s), int(d)), 0) + 1
-    for (s, d), words in sorted(pair_words.items()):
-        ledger.record(PHASE, s, d, words)
-
-    # "Deliver": receivers learn x values and partial sums.
-    recv_x = {}  # (dst, j) -> value
-    for s, d, j in zip(x_src, x_dst, x_j):
-        recv_x[(int(d), int(j))] = x[j]
-    recv_partial_rows: dict[int, list] = {}
-    for s, d, i, v in zip(part_src, part_dst, part_row, psums):
-        recv_partial_rows.setdefault(int(d), []).append((int(i), float(v)))
+        # One fused packet per communicating pair: one word per x entry
+        # and per partial.
+        ledger.record_pairs(
+            PHASE,
+            *pair_counts(
+                np.concatenate((x_src, part_src)),
+                np.concatenate((x_dst, part_dst)),
+                k,
+            ),
+        )
 
     # ---------------- Phase 3: Compute --------------------------------
-    flops_main = np.zeros(k, dtype=np.int64)
-    np.add.at(flops_main, owner[main_mask], 2)
-    y = np.zeros(nrows, dtype=np.float64)
-    # Local/received x for the row-owner products.
-    xs = np.empty(int(np.count_nonzero(main_mask)), dtype=np.float64)
-    mrows = rows[main_mask]
-    mcols = cols[main_mask]
-    mvals = vals[main_mask]
-    mown = owner[main_mask]
-    local = cp[main_mask] == mown
-    xs[local] = x[mcols[local]]
-    for t in np.flatnonzero(~local):
-        key = (int(mown[t]), int(mcols[t]))
-        if key not in recv_x:
-            raise SimulationError(
-                f"P{mown[t]} multiplied with x[{mcols[t]}] it neither owns nor received"
-            )
-        xs[t] = recv_x[key]
-    np.add.at(y, mrows, mvals * xs)
-    # Fold in received partials (one add per received word).
-    for d, items in recv_partial_rows.items():
-        for i, v in items:
-            if p.vectors.y_part[i] != d:
-                raise SimulationError(f"partial for y[{i}] delivered to non-owner P{d}")
-            y[i] += v
-            flops_main[d] += 1
+    with profiling.stage("compute"):
+        flops_main = 2 * np.bincount(owner[main_mask], minlength=k).astype(np.int64)
+        mrows = rows[main_mask]
+        mcols = cols[main_mask]
+        mvals = vals[main_mask]
+        mown = owner[main_mask]
+        # Locality audit: every non-local x read must match a delivered
+        # (receiver, j) key from the exchange.
+        nonlocal_mask = cp[main_mask] != mown
+        check_locality(recv_keys, mown[nonlocal_mask], mcols[nonlocal_mask], ncols)
+        y = np.bincount(mrows, weights=mvals * x[mcols], minlength=nrows)
+        # Fold in received partials (one add per received word), only at
+        # the row owner each was delivered to.
+        check_fold_ownership(p.vectors.y_part, part_row, part_dst)
+        if part_row.size:
+            y += np.bincount(part_row, weights=psums, minlength=nrows)
+            flops_main += np.bincount(part_dst, minlength=k).astype(np.int64)
 
-    ref = m @ x
-    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
-        raise SimulationError("single-phase SpMV result differs from serial A @ x")
+    with profiling.stage("verify"):
+        ref = m @ x
+        if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+            raise SimulationError(
+                "single-phase SpMV result differs from serial A @ x"
+            )
 
     return SpMVRun(
         y=y,

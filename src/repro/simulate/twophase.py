@@ -5,6 +5,10 @@ checkerboard and the 1D-b Boman scheme all execute here.  For the
 Cartesian schemes the bounded message pattern (expand inside mesh
 columns, fold inside mesh rows) emerges from their vector placement;
 no special-case code is involved, which is itself a useful check.
+
+Message assembly and the locality audit are array kernels (see
+:mod:`repro.simulate.singlephase`); the seed implementation is
+preserved in :mod:`repro.simulate.legacy` with bit-identical ledgers.
 """
 
 from __future__ import annotations
@@ -12,8 +16,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.kernels import group_sum
+from repro.kernels import group_sum, pair_counts
 from repro.partition.types import SpMVPartition
+from repro.simulate import profiling
+from repro.simulate.common import check_locality, delivery_keys
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
 
@@ -22,6 +28,7 @@ __all__ = ["run_two_phase"]
 
 def run_two_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     """Execute the expand/compute/fold SpMV under partition ``p``."""
+    profiling.note_run()
     m = p.matrix
     nrows, ncols = m.shape
     k = p.nparts
@@ -31,62 +38,50 @@ def run_two_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     if x.size != ncols:
         raise SimulationError(f"x has size {x.size}, expected {ncols}")
 
-    rows, cols, vals = m.row, m.col, m.data.astype(np.float64)
+    rows, cols = m.row, m.col
+    vals = np.asarray(m.data, dtype=np.float64)
     owner = p.nnz_part
     x_owner_of_nnz = p.vectors.x_part[cols]
-    y_owner_of_nnz = p.vectors.y_part[rows]
 
     ledger = Ledger(k)
 
     # ---------------- Phase 1: Expand ---------------------------------
-    need = x_owner_of_nnz != owner
-    nk = (x_owner_of_nnz[need].astype(np.int64) * k + owner[need]) * ncols + cols[need]
-    nkeys = np.unique(nk)
-    e_src = (nkeys // ncols) // k
-    e_dst = (nkeys // ncols) % k
-    e_j = nkeys % ncols
-    pair_keys, pair_counts = np.unique(nkeys // ncols, return_counts=True)
-    for pk, c in zip(pair_keys, pair_counts):
-        ledger.record("expand", int(pk // k), int(pk % k), int(c))
-    recv_x = {(int(d), int(j)): x[j] for d, j in zip(e_dst, e_j)}
+    with profiling.stage("expand"):
+        # The sender of x_j is its owner — a function of j — so expand
+        # items deduplicate on the narrower (receiver, j) key, which is
+        # also the sorted join table of the compute-phase audit.
+        need = x_owner_of_nnz != owner
+        recv_keys = delivery_keys(owner[need], cols[need], ncols)
+        e_dst = recv_keys // ncols
+        e_j = recv_keys % ncols
+        e_src = p.vectors.x_part[e_j]
+        ledger.record_pairs("expand", *pair_counts(e_src, e_dst, k))
 
     # ---------------- Phase 2: Compute --------------------------------
-    flops = np.zeros(k, dtype=np.int64)
-    np.add.at(flops, owner, 2)
-    xs = np.empty(rows.size, dtype=np.float64)
-    local = ~need
-    xs[local] = x[cols[local]]
-    for t in np.flatnonzero(need):
-        key = (int(owner[t]), int(cols[t]))
-        if key not in recv_x:
-            raise SimulationError(
-                f"P{owner[t]} multiplied with x[{cols[t]}] it neither owns nor received"
-            )
-        xs[t] = recv_x[key]
-    # Partial results per (holder, row) — dense keys, bincount fastpath.
-    pk = owner.astype(np.int64) * nrows + rows
-    pkeys, psums = group_sum(pk, vals * xs)
-    p_holder = pkeys // nrows
-    p_row = pkeys % nrows
-    p_dst = p.vectors.y_part[p_row]
+    with profiling.stage("compute"):
+        flops = 2 * np.bincount(owner, minlength=k).astype(np.int64)
+        # Locality audit: every expanded x read must match a delivered
+        # (receiver, j) key.
+        check_locality(recv_keys, owner[need], cols[need], ncols)
+        # Partial results per (holder, row) — dense keys, bincount fastpath.
+        pk = owner.astype(np.int64) * nrows + rows
+        pkeys, psums = group_sum(pk, vals * x[cols])
+        p_holder = pkeys // nrows
+        p_row = pkeys % nrows
+        p_dst = p.vectors.y_part[p_row]
 
     # ---------------- Phase 3: Fold -----------------------------------
-    away = p_holder != p_dst
-    fold_pairs, fold_counts = np.unique(
-        p_holder[away] * k + p_dst[away], return_counts=True
-    )
-    for pk2, c in zip(fold_pairs, fold_counts):
-        ledger.record("fold", int(pk2 // k), int(pk2 % k), int(c))
+    with profiling.stage("fold"):
+        away = p_holder != p_dst
+        ledger.record_pairs("fold", *pair_counts(p_holder[away], p_dst[away], k))
 
-    y = np.zeros(nrows, dtype=np.float64)
-    np.add.at(y, p_row[~away], psums[~away])
-    flops_agg = np.zeros(k, dtype=np.int64)
-    np.add.at(y, p_row[away], psums[away])
-    np.add.at(flops_agg, p_dst[away], 1)
+        y = np.bincount(p_row, weights=psums, minlength=nrows)
+        flops_agg = np.bincount(p_dst[away], minlength=k).astype(np.int64)
 
-    ref = m @ x
-    if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
-        raise SimulationError("two-phase SpMV result differs from serial A @ x")
+    with profiling.stage("verify"):
+        ref = m @ x
+        if not np.allclose(y, ref, rtol=1e-10, atol=1e-12):
+            raise SimulationError("two-phase SpMV result differs from serial A @ x")
 
     return SpMVRun(
         y=y,

@@ -57,11 +57,31 @@ def test_bench_partitioner_quick(tmp_path):
     assert result["config"]["quick"] is True
 
 
+def test_bench_simulate_quick(tmp_path):
+    import bench_simulate
+
+    out = tmp_path / "BENCH_simulate.json"
+    result = bench_simulate.run(out, quick=True)
+    assert out.exists()
+    data = json.loads(out.read_text())
+    assert {"config", "executors", "simulate_all", "acceptance"} <= set(data)
+    assert len(data["executors"]) == 12  # 2 models x 2 K values x 3 executors
+    for entry in data["executors"]:
+        assert entry["vectorized_s"] > 0
+        assert entry["ledger_identical"] is True
+    assert data["simulate_all"]["methods"] > 0
+    assert result["config"]["quick"] is True
+
+
 def test_run_all_driver_quick(tmp_path):
     import run_all
 
     results = run_all.run_all(tmp_path, quick=True)
-    assert set(results) == {"BENCH_engine.json", "BENCH_partitioner.json"}
+    assert set(results) == {
+        "BENCH_engine.json",
+        "BENCH_partitioner.json",
+        "BENCH_simulate.json",
+    }
     for artifact in results:
         assert (tmp_path / artifact).exists()
 

@@ -25,6 +25,47 @@ def test_cli_extension_schemes(scheme, capsys):
     assert "speedup=" in capsys.readouterr().out
 
 
+def test_cli_simulate_single_scheme(capsys):
+    assert main(
+        ["simulate", "--matrix", "trdheim", "--scheme", "s2d", "--k", "4",
+         "--scale", "tiny"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "scheme=s2D" in out and "speedup=" in out
+
+
+def test_cli_simulate_profile(capsys):
+    assert main(
+        ["simulate", "--matrix", "trdheim", "--scheme", "1d", "--k", "4",
+         "--scale", "tiny", "--profile"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "total" in out  # wall-clock stage table
+    assert "bandwidth=" in out and "latency=" in out  # model breakdown
+
+
+def test_cli_simulate_all_methods(capsys):
+    assert main(
+        ["simulate", "--matrix", "trdheim", "--k", "4", "--scale", "tiny", "--all"]
+    ) == 0
+    out = capsys.readouterr().out
+    # one summary line per registered method
+    from repro.engine import available_methods
+
+    assert out.count("speedup=") == len(available_methods())
+
+
+def test_cli_simulate_requires_one_source():
+    with pytest.raises(SystemExit, match="exactly one"):
+        main(["simulate"])
+
+
+def test_cli_simulate_scheme_conflicts_with_all():
+    with pytest.raises(SystemExit, match="conflicts"):
+        main(["simulate", "--matrix", "trdheim", "--scheme", "2d", "--all",
+              "--scale", "tiny"])
+
+
 def test_cli_table_with_default_scale_env(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_SCALE", "tiny")
     assert main(["table", "--id", "4"]) == 0

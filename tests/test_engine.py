@@ -165,3 +165,31 @@ def test_partition_plan_oneshot(matrix):
     p = plan_oneshot(matrix, "s2d", 4)
     assert p.kind == "s2D"
     p.validate_s2d()
+
+
+def test_simulate_all_runs_every_registered_method(matrix):
+    eng = PartitionEngine(matrix, seed=3)
+    runs = eng.simulate_all(4)
+    assert set(runs) == set(available_methods())
+    for run in runs.values():
+        assert run.ledger.nparts == 4
+        assert run.y.shape == (matrix.shape[0],)
+
+
+def test_simulate_all_matches_individual_runs(matrix):
+    eng = PartitionEngine(matrix, seed=3)
+    runs = eng.simulate_all(4, ["1d-rowwise", "s2d-heuristic"])
+    for name in ("1d-rowwise", "s2d-heuristic"):
+        direct = eng.run(eng.plan(name, 4))
+        assert runs[name] is direct  # cache-shared, not recomputed
+    # Aliases resolve through the registry.
+    aliased = eng.simulate_all(4, ["s2d"])
+    assert set(aliased) == {"s2d-heuristic"}
+    assert aliased["s2d-heuristic"] is runs["s2d-heuristic"]
+
+
+def test_simulate_all_shares_intermediates(matrix):
+    eng = PartitionEngine(matrix, seed=3)
+    eng.simulate_all(4, S2D_METHODS)
+    hits = eng.cache_info()["hits"]
+    assert hits > 0  # the s2D family shared 1D vectors + block analytics

@@ -23,6 +23,16 @@ def test_load_imbalance():
     assert load_imbalance(np.array([30, 10])) == pytest.approx(0.5)
 
 
+def test_load_imbalance_empty_is_zero():
+    """Regression: max() of an empty load vector used to crash."""
+    assert load_imbalance(np.array([])) == 0.0
+    assert load_imbalance(np.array([], dtype=np.int64)) == 0.0
+
+
+def test_load_imbalance_all_zero_loads():
+    assert load_imbalance(np.zeros(4)) == 0.0
+
+
 def test_format_li_paper_style():
     assert format_li(0.129) == "12.9%"
     assert format_li(1.2) == "1.2*"

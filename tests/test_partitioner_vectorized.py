@@ -18,7 +18,14 @@ from repro.hypergraph.coarsen import coarsen_once
 from repro.hypergraph.kway import kway_greedy_refine
 from repro.hypergraph.legacy import legacy_partition_kway
 from repro.hypergraph.refine import _violation, bisection_cut, fm_refine, part_weights
-from repro.kernels import concat_ranges, group_sum, grouped_distinct_counts
+from repro.kernels import (
+    concat_ranges,
+    group_sum,
+    grouped_distinct_counts,
+    in_sorted,
+    pair_counts,
+    unique_ints,
+)
 from repro.rng import as_generator
 
 
@@ -50,6 +57,47 @@ def test_concat_ranges_empty():
 def test_concat_ranges_rejects_negative_spans():
     with pytest.raises(ValueError):
         concat_ranges(np.array([5]), np.array([3]))
+
+
+def test_in_sorted_membership(rng):
+    haystack = np.unique(rng.integers(0, 1000, size=200))
+    queries = rng.integers(-50, 1100, size=500)
+    expected = np.isin(queries, haystack)
+    assert np.array_equal(in_sorted(haystack, queries), expected)
+
+
+def test_in_sorted_empty_haystack():
+    assert not in_sorted(np.array([], dtype=np.int64), np.array([1, 2])).any()
+    assert in_sorted(np.array([3]), np.array([], dtype=np.int64)).size == 0
+
+
+@pytest.mark.parametrize("n", [4, 5000])  # histogram fastpath vs sort fallback
+def test_pair_counts_matches_reference(rng, n):
+    src = rng.integers(0, n, size=300)
+    dst = rng.integers(0, n, size=300)
+    s, d, c = pair_counts(src, dst, n)
+    ref: dict = {}
+    for a, b in zip(src, dst):
+        ref[(int(a), int(b))] = ref.get((int(a), int(b)), 0) + 1
+    assert {(int(a), int(b)): int(w) for a, b, w in zip(s, d, c)} == ref
+    assert int(c.sum()) == 300
+    keys = s * n + d
+    assert np.all(np.diff(keys) > 0)  # sorted, distinct
+
+
+def test_pair_counts_empty():
+    s, d, c = pair_counts(np.array([]), np.array([]), 7)
+    assert s.size == d.size == c.size == 0
+
+
+@pytest.mark.parametrize("scale", [1, 10**15])  # dense fastpath vs fallback
+def test_unique_ints_matches_numpy(rng, scale):
+    keys = rng.integers(0, 400, size=1000) * scale
+    assert np.array_equal(unique_ints(keys), np.unique(keys))
+
+
+def test_unique_ints_empty():
+    assert unique_ints(np.array([], dtype=np.int64)).size == 0
 
 
 @pytest.mark.parametrize("span", ["dense", "sparse"])

@@ -130,6 +130,71 @@ def test_checkerboard_and_boman_verify(medium_square, rng):
         assert np.allclose(run.y, medium_square @ x)
 
 
+def test_bounded_rejects_wrong_x_size(medium_square, rng):
+    """Seed bug: run_s2d_bounded accepted a wrongly-sized x silently."""
+    p = random_s2d_partition(rng, medium_square, 4)
+    b = SpMVPartition(
+        matrix=p.matrix, nnz_part=p.nnz_part, vectors=p.vectors, kind="s2D-b",
+        meta={"mesh": (2, 2)},
+    )
+    with pytest.raises(SimulationError, match="size"):
+        run_s2d_bounded(b, np.ones(7))
+
+
+def test_bounded_rejects_inadmissible_classification(small_square):
+    """Seed bug: an inadmissible partition could silently drop nonzeros
+    and only fail (opaquely) at the final allclose."""
+    m = small_square
+    p = SpMVPartition(
+        matrix=m,
+        nnz_part=np.ones(m.nnz, dtype=np.int64),
+        vectors=VectorPartition(
+            x_part=np.zeros(30, dtype=np.int64),
+            y_part=np.zeros(30, dtype=np.int64),
+            nparts=2,
+        ),
+        kind="s2D-b",
+        meta={"mesh": (1, 2)},
+    )
+    with pytest.raises(Exception):  # PartitionError or SimulationError
+        run_s2d_bounded(p)
+
+
+def test_bounded_matches_single_phase_volume_lower_bound(medium_square, rng):
+    """Routing can only add words (two-hop items cost two), never lose any."""
+    p = random_s2d_partition(rng, medium_square, 8)
+    from repro.core import make_s2d_bounded
+
+    v1 = run_single_phase(p).ledger.total_volume()
+    vb = run_s2d_bounded(make_s2d_bounded(p)).ledger.total_volume()
+    assert vb >= v1
+
+
+def test_profiling_collects_phase_timings(medium_square, rng):
+    from repro.simulate import profiling
+
+    p = random_s2d_partition(rng, medium_square, 4)
+    with profiling.collect() as prof:
+        run_single_phase(p)
+        run_two_phase(p)
+    assert prof.runs == 2
+    assert {"precompute", "exchange", "compute", "verify", "expand", "fold"} <= set(
+        prof.stages
+    )
+    assert prof.total_s > 0
+    assert "total" in prof.stage_table()
+    assert prof.as_dict()["runs"] == 2
+
+
+def test_profiling_inactive_is_noop(medium_square, rng):
+    from repro.simulate import profiling
+
+    assert profiling.active_profile() is None
+    p = random_s2d_partition(rng, medium_square, 4)
+    run_single_phase(p)  # must not fail without a collector
+    assert profiling.active_profile() is None
+
+
 def test_identity_matrix_no_communication():
     m = sp.eye(8, format="coo")
     y_part = np.arange(8) % 2

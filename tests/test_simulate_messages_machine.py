@@ -49,6 +49,74 @@ def test_ledger_rejects_out_of_range():
         led.record("p", 0, 5, 1)
 
 
+def test_record_pairs_matches_per_message_record():
+    """Bulk recording must produce a bit-identical book."""
+    src = np.array([0, 1, 2, 0])
+    dst = np.array([1, 2, 0, 2])
+    words = np.array([5, 2, 7, 1])
+    bulk, loop = Ledger(3), Ledger(3)
+    bulk.record_pairs("p", src, dst, words)
+    for s, d, w in zip(src, dst, words):
+        loop.record("p", int(s), int(d), int(w))
+    assert bulk.as_dict() == loop.as_dict()
+    assert bulk.phase_names == loop.phase_names
+    assert bulk.sent_volume("p").tolist() == loop.sent_volume("p").tolist()
+    assert bulk.recv_msgs().tolist() == loop.recv_msgs().tolist()
+
+
+def test_record_pairs_empty_batch_is_noop():
+    led = Ledger(2)
+    led.record_pairs("p", np.array([]), np.array([]), np.array([]))
+    assert led.phase_names == []
+    assert led.total_volume() == 0
+
+
+def test_record_pairs_rejects_bad_batches():
+    led = Ledger(3)
+    with pytest.raises(SimulationError, match="empty"):
+        led.record_pairs("p", np.array([0]), np.array([1]), np.array([0]))
+    with pytest.raises(SimulationError, match="self"):
+        led.record_pairs("p", np.array([1]), np.array([1]), np.array([2]))
+    with pytest.raises(SimulationError, match="outside"):
+        led.record_pairs("p", np.array([0]), np.array([5]), np.array([2]))
+    with pytest.raises(SimulationError, match="duplicate"):
+        led.record_pairs(
+            "p", np.array([0, 0]), np.array([1, 1]), np.array([2, 3])
+        )
+    with pytest.raises(SimulationError, match="equal sizes"):
+        led.record_pairs("p", np.array([0]), np.array([1, 2]), np.array([2]))
+
+
+def test_record_pairs_rejects_duplicate_against_existing():
+    led = Ledger(3)
+    led.record("p", 0, 1, 4)
+    with pytest.raises(SimulationError, match="duplicate"):
+        led.record_pairs("p", np.array([2, 0]), np.array([0, 1]), np.array([1, 1]))
+    # ... and the failed batch must not have been partially applied.
+    assert led.pair_volume("p", 2, 0) == 0
+
+
+def test_aggregate_cache_invalidated_on_write():
+    led = Ledger(3)
+    led.record("p", 0, 1, 5)
+    assert led.sent_volume("p").tolist() == [5, 0, 0]
+    led.record("p", 1, 2, 2)  # must invalidate the cached aggregates
+    assert led.sent_volume("p").tolist() == [5, 2, 0]
+    led.record_pairs("p", np.array([2]), np.array([0]), np.array([9]))
+    assert led.sent_volume("p").tolist() == [5, 2, 9]
+    assert led.recv_volume("p").tolist() == [9, 5, 2]
+    # Returned arrays are copies: mutating one must not corrupt the cache.
+    led.sent_volume("p")[:] = 0
+    assert led.sent_volume("p").tolist() == [5, 2, 9]
+
+
+def test_as_dict_snapshot():
+    led = Ledger(3)
+    led.record("q", 2, 0, 3)
+    led.record("p", 0, 1, 5)
+    assert led.as_dict() == {"q": {"2->0": 3}, "p": {"0->1": 5}}
+
+
 def test_machine_phase_time_components():
     m = MachineModel(alpha=10, beta=2, gamma=1)
     led = Ledger(2)
