@@ -1,8 +1,8 @@
 """Regenerate every ``BENCH_*.json`` artifact in one shot.
 
 Drives the JSON-emitting benchmark modules (currently
-``bench_engine``, ``bench_partitioner`` and ``bench_simulate``) and
-prints a one-line
+``bench_engine``, ``bench_partitioner``, ``bench_simulate`` and
+``bench_runtime``) and prints a one-line
 summary per artifact.  ``--quick`` runs every benchmark at tiny scale
 (seconds, not minutes) — the same entry point the slow-marked pytest
 smoke test uses, so the bench scripts cannot rot unnoticed.
@@ -25,6 +25,7 @@ sys.path.insert(0, str(BENCH_DIR))
 
 import bench_engine  # noqa: E402
 import bench_partitioner  # noqa: E402
+import bench_runtime  # noqa: E402
 import bench_simulate  # noqa: E402
 
 #: (module, artifact filename, headline extractor)
@@ -48,6 +49,15 @@ BENCHMARKS = [
         lambda r: (
             f"single-phase executor speedup {r['acceptance']['speedup']:.1f}x "
             f"(ledgers identical: {r['acceptance']['ledgers_identical']})"
+        ),
+    ),
+    (
+        bench_runtime,
+        "BENCH_runtime.json",
+        lambda r: (
+            f"compiled apply speedup {r['acceptance']['speedup']:.1f}x, "
+            f"amortized in {r['acceptance']['amortize_iters']:.1f} iters "
+            f"(identical: {r['acceptance']['identical']})"
         ),
     ),
 ]

@@ -36,7 +36,13 @@ from repro.core import (
     two_phase_comm_stats,
 )
 from repro.engine import PartitionEngine, Plan, available_methods
-from repro.partition.serialize import load_partition, save_partition
+from repro.partition.serialize import (
+    load_partition,
+    load_plan,
+    save_partition,
+    save_plan,
+)
+from repro.runtime import CommPlan, compile_plan
 from repro.solvers import conjugate_gradient, jacobi, power_iteration
 from repro.hypergraph import PartitionConfig, partition_kway
 from repro.partition import (
@@ -75,12 +81,17 @@ __all__ = [
     "two_phase_comm_stats",
     "bounded_comm_stats",
     "pairwise_volumes",
+    # compiled runtime
+    "CommPlan",
+    "compile_plan",
     # solvers and persistence
     "power_iteration",
     "jacobi",
     "conjugate_gradient",
     "save_partition",
     "load_partition",
+    "save_plan",
+    "load_plan",
     # baselines
     "partition_1d_rowwise",
     "partition_1d_columnwise",

@@ -32,6 +32,7 @@ from repro.engine.registry import METHODS, available_methods, resolve_method
 from repro.hypergraph import PartitionConfig, PartitionProfile
 from repro.hypergraph import profiling as hg_profiling
 from repro.partition.types import SpMVPartition, VectorPartition
+from repro.runtime import CommPlan, compile_plan
 from repro.simulate.machine import MachineModel, SpMVRun
 from repro.simulate.report import PartitionQuality, run_partition, summarize
 from repro.sparse.blocks import BlockStructure
@@ -259,6 +260,18 @@ class PartitionEngine:
         """Memoized simulated SpMV execution of a plan."""
         xkey = ("run", plan.key, None if x is None else (x.shape, _digest(x)))
         return self._memo(xkey, lambda: run_partition(plan.partition, x))
+
+    def compiled_plan(self, plan: Plan) -> CommPlan:
+        """Memoized communication plan compiled from ``plan``'s partition.
+
+        The :class:`~repro.runtime.CommPlan` sits next to the block
+        structure and DM results as a shared intermediate: the solvers,
+        the CLI ``solve`` subcommand and repeated-apply workloads all
+        fetch one compiled plan per (method, K, config) instead of
+        re-deriving the message structure per multiply.
+        """
+        key = ("comm-plan", plan.key)
+        return self._memo(key, lambda: compile_plan(plan.partition))
 
     def simulate_all(
         self,

@@ -1,9 +1,14 @@
-"""Save / load partitions.
+"""Save / load partitions and compiled communication plans.
 
 Partitioning dominates experiment runtime (the multilevel partitioner is
-pure Python), so cached partitions are worth real money.  Format: a
-single ``.npz`` holding the canonical triplets, both vector partitions,
-the nonzero partition, and a small JSON header (kind, meta subset).
+pure Python), so cached partitions are worth real money; compiling a
+partition into a :class:`~repro.runtime.CommPlan` costs another
+executor run, so long-lived iterative workloads cache the compiled plan
+too.  Format: a single ``.npz`` holding the payload arrays and a small
+JSON header carrying an explicit format version and a payload tag
+(``"partition"`` or ``"comm-plan"``) — loading a file of the wrong
+payload type or an unknown version fails with a clear error, and
+version-1 partition files (written before the tag existed) still load.
 """
 
 from __future__ import annotations
@@ -17,30 +22,68 @@ import scipy.sparse as sp
 from repro.errors import ReproError
 from repro.partition.types import SpMVPartition, VectorPartition
 
-__all__ = ["save_partition", "load_partition"]
+__all__ = ["save_partition", "load_partition", "save_plan", "load_plan"]
 
-_FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+_PARTITION = "partition"
+_PLAN = "comm-plan"
+
+
+def json_safe_meta(meta: dict) -> dict:
+    """The JSON-storable subset of a meta dict: scalars pass, int
+    tuples (mesh shapes) become lists, everything else is dropped."""
+    out: dict = {}
+    for key, value in meta.items():
+        if isinstance(value, (str, int, float, bool)):
+            out[key] = value
+        elif isinstance(value, tuple) and all(isinstance(v, int) for v in value):
+            out[key] = list(value)
+    return out
+
+
+def _pack_header(header: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+
+
+def _read_header(z, path) -> dict:
+    try:
+        header = json.loads(bytes(z["header"].tobytes()).decode())
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise ReproError(f"not a repro save file: {path}") from exc
+    version = header.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ReproError(
+            f"unsupported save format version {version!r} in {path}; "
+            f"this build supports versions {list(SUPPORTED_VERSIONS)}"
+        )
+    return header
+
+
+def _check_payload(header: dict, expected: str, path, hint: str) -> None:
+    # Version-1 files predate the payload tag and are always partitions.
+    payload = header.get("payload", _PARTITION)
+    if payload != expected:
+        raise ReproError(
+            f"{path} holds a {payload!r} save, not a {expected!r}; use {hint}"
+        )
 
 
 def save_partition(p: SpMVPartition, path) -> None:
     """Write ``p`` to ``path`` (.npz).  Only JSON-safe meta entries are
     kept (mesh shapes, method tags); arrays in meta are dropped."""
-    meta: dict = {}
-    for key, value in p.meta.items():
-        if isinstance(value, (str, int, float, bool)):
-            meta[key] = value
-        elif isinstance(value, tuple) and all(isinstance(v, int) for v in value):
-            meta[key] = list(value)
     header = {
-        "version": _FORMAT_VERSION,
+        "version": FORMAT_VERSION,
+        "payload": _PARTITION,
         "kind": p.kind,
         "nparts": p.nparts,
         "shape": list(p.matrix.shape),
-        "meta": meta,
+        "meta": json_safe_meta(p.meta),
     }
     np.savez_compressed(
         os.fspath(path),
-        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        header=_pack_header(header),
         row=p.matrix.row,
         col=p.matrix.col,
         data=p.matrix.data,
@@ -53,14 +96,8 @@ def save_partition(p: SpMVPartition, path) -> None:
 def load_partition(path) -> SpMVPartition:
     """Read a partition written by :func:`save_partition`."""
     with np.load(os.fspath(path)) as z:
-        try:
-            header = json.loads(bytes(z["header"].tobytes()).decode())
-        except (KeyError, json.JSONDecodeError) as exc:
-            raise ReproError(f"not a partition file: {path}") from exc
-        if header.get("version") != _FORMAT_VERSION:
-            raise ReproError(
-                f"unsupported partition format version {header.get('version')}"
-            )
+        header = _read_header(z, path)
+        _check_payload(header, _PARTITION, path, "load_plan for compiled plans")
         shape = tuple(header["shape"])
         matrix = sp.coo_matrix((z["data"], (z["row"], z["col"])), shape=shape)
         meta = {
@@ -76,3 +113,27 @@ def load_partition(path) -> SpMVPartition:
             kind=header["kind"],
             meta=meta,
         )
+
+
+def save_plan(plan, path) -> None:
+    """Write a compiled :class:`~repro.runtime.CommPlan` to ``path`` (.npz).
+
+    The compiled state — gather/scatter index arrays, the static
+    per-iteration ledger and the superstep schedule — is stored as-is,
+    so :func:`load_plan` rebuilds an immediately applicable plan with
+    no recompilation (and no reference to the original matrix).
+    """
+    header, arrays = plan.to_state()
+    header = {"version": FORMAT_VERSION, "payload": _PLAN, **header}
+    np.savez_compressed(os.fspath(path), header=_pack_header(header), **arrays)
+
+
+def load_plan(path):
+    """Read a compiled plan written by :func:`save_plan`."""
+    from repro.runtime.plan import CommPlan
+
+    with np.load(os.fspath(path)) as z:
+        header = _read_header(z, path)
+        _check_payload(header, _PLAN, path, "load_partition for partitions")
+        arrays = {name: z[name] for name in z.files if name != "header"}
+    return CommPlan.from_state(header, arrays)

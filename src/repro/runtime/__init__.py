@@ -1,0 +1,32 @@
+"""Compiled SpMV runtime: reusable communication plans.
+
+The paper's whole point is iterative methods — the same partitioned
+SpMV runs hundreds of times — yet the per-call executors in
+:mod:`repro.simulate` re-derive the full message structure (masks,
+searchsorted joins, dedup, packet layouts, audits, the serial
+verification) on every multiply.  This package compiles that structure
+once:
+
+- :func:`compile_plan` walks a partition through the matching per-call
+  executor a single time and freezes everything iteration-invariant
+  into a :class:`CommPlan` — gather/scatter index arrays for the
+  numeric kernel, the per-iteration message :class:`~repro.simulate.messages.Ledger`,
+  and the superstep schedule with its static per-processor flops;
+- :meth:`CommPlan.apply` then performs each subsequent multiply as
+  pure array gathers/scatters with zero per-call set-up, returning an
+  :class:`~repro.simulate.machine.SpMVRun` whose ``y`` and ledger are
+  bit-identical to the per-call executor's;
+- :meth:`CommPlan.apply_many` batches several right-hand sides through
+  the one compiled schedule (column-stacked, same bit-identical
+  numerics per column).
+
+The iterative solvers (:mod:`repro.solvers`), the engine's memoized
+``compiled_plan`` intermediate and the CLI ``solve`` subcommand all
+run on this layer; compiled plans can be persisted with
+:func:`repro.partition.serialize.save_plan`.
+"""
+
+from repro.runtime.compile import compile_plan
+from repro.runtime.plan import CommPlan
+
+__all__ = ["CommPlan", "compile_plan"]

@@ -1,0 +1,120 @@
+"""Compile a partition's SpMV into a :class:`~repro.runtime.plan.CommPlan`.
+
+Compilation runs the matching per-call executor once — inheriting all
+of its structural validation (s2D admissibility, nonzero
+classification, locality and fold-ownership audits) and the serial
+``A @ x`` verification — and keeps its ledger and superstep schedule
+as the plan's static per-iteration record.  The numeric-kernel index
+arrays are then derived with the executors' own expressions, and the
+compiled apply is checked bit-for-bit against the reference run before
+the plan is returned, so a plan that disagrees with its executor can
+never leave this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.partition.types import SpMVPartition
+from repro.runtime.plan import CommPlan, _GroupPlan
+from repro.simulate.bounded import run_s2d_bounded
+from repro.simulate.common import classify_nonzeros, mesh_intermediate
+from repro.simulate.machine import SpMVRun
+from repro.simulate.report import EXECUTORS
+from repro.simulate.singlephase import run_single_phase
+from repro.simulate.twophase import run_two_phase
+
+__all__ = ["compile_plan"]
+
+_RUNNERS = {
+    "single": run_single_phase,
+    "two": run_two_phase,
+    "routed": run_s2d_bounded,
+}
+
+
+def _derive(mode: str, p: SpMVPartition, ref: SpMVRun) -> dict:
+    """The mode-specific gather/scatter arrays, mirroring the executor."""
+    m = p.matrix
+    nrows = m.shape[0]
+    rows, cols = m.row, m.col
+    vals = np.asarray(m.data, dtype=np.float64)
+    owner = p.nnz_part
+
+    if mode == "two":
+        pk = owner.astype(np.int64) * nrows + rows
+        group1, pkeys = _GroupPlan.build(pk)
+        return {
+            "pre_cols": cols,
+            "pre_vals": vals,
+            "group1": group1,
+            "fold_rows": pkeys % nrows,
+        }
+
+    _, _, _, pre_mask, main_mask = classify_nonzeros(p)
+    pk = owner[pre_mask].astype(np.int64) * nrows + rows[pre_mask]
+    group1, pkeys = _GroupPlan.build(pk)
+    out = {
+        "pre_cols": cols[pre_mask],
+        "pre_vals": vals[pre_mask],
+        "group1": group1,
+        "main_rows": rows[main_mask],
+        "main_cols": cols[main_mask],
+        "main_vals": vals[main_mask],
+    }
+    if mode == "single":
+        out["fold_rows"] = pkeys % nrows
+        return out
+
+    # Routed: partials combine at mesh intermediates before the fold.
+    pr, pc = ref.meta["mesh"]
+    y_src = pkeys // nrows
+    y_i = pkeys % nrows
+    y_dst = p.vectors.y_part[y_i]
+    y_t = mesh_intermediate(y_src, y_dst, pc)
+    ckey = y_t * nrows + y_i
+    group2, ckeys = _GroupPlan.build(ckey)
+    out["group2"] = group2
+    out["fold_rows"] = ckeys % nrows
+    return out
+
+
+def compile_plan(p: SpMVPartition, executor: str | None = None) -> CommPlan:
+    """Compile partition ``p`` into a reusable :class:`CommPlan`.
+
+    ``executor`` picks the execution model (``"single"``, ``"two"`` or
+    ``"routed"``); omitted, it resolves from ``p.kind`` exactly like
+    :func:`repro.simulate.report.run_partition`.  Compilation costs
+    about one per-call executor run and is amortized after a few
+    applies (see ``benchmarks/bench_runtime.py``).
+    """
+    mode = executor
+    if mode is None:
+        mode = EXECUTORS.get(p.kind)
+    if mode is None:
+        mode = "single" if p.is_s2d_admissible() else "two"
+    runner = _RUNNERS.get(mode)
+    if runner is None:
+        raise ConfigError(
+            f"unknown executor {mode!r}; expected one of {sorted(_RUNNERS)}"
+        )
+    ref = runner(p)
+    m, n = p.matrix.shape
+    plan = CommPlan(
+        executor=mode,
+        kind=ref.kind,
+        nparts=p.nparts,
+        nrows=m,
+        ncols=n,
+        nnz=ref.nnz,
+        ledger=ref.ledger,
+        phases=ref.phases,
+        meta=dict(ref.meta),
+        **_derive(mode, p, ref),
+    )
+    if not np.array_equal(plan.apply_y(), ref.y):
+        raise SimulationError(
+            "compiled plan disagrees with the per-call executor"
+        )  # pragma: no cover — compile-time self-check
+    return plan

@@ -1,0 +1,333 @@
+"""The frozen communication plan and its repeated-apply executor.
+
+A :class:`CommPlan` holds everything about one partitioned SpMV that
+does not depend on the input vector: the message ledger and superstep
+schedule (computed once, shared by every subsequent run), and the
+gather/scatter index arrays of the numeric kernel.  All three
+execution models reduce to one apply shape::
+
+    psums = group1(pre_vals * x[pre_cols])      # grouped partial sums
+    fsums = group2(psums)                       # routed combine (s2D-b)
+    y     = scatter(main_vals * x[main_cols])   # row-owner products
+          + scatter(fsums at fold_rows)         # fold received partials
+
+- single-phase: ``pre_*`` are the precompute nonzeros, ``main_*`` the
+  row-owner nonzeros, no ``group2``;
+- two-phase: every nonzero goes through ``group1`` (partials per
+  (holder, row)), no ``main_*`` — ``y`` is the fold alone;
+- mesh-routed s2D-b: like single-phase plus ``group2``, the combine of
+  partials at mesh intermediates.
+
+Bit-identity with the per-call executors holds because every float
+operation is reproduced with the same kernel and the same element
+order: :class:`_GroupPlan` freezes :func:`repro.kernels.group_sum`'s
+histogram-vs-scatter branch choice at compile time, and the scatters
+are the executors' own ``np.bincount`` accumulations over the same
+index arrays.  (``np.add.at`` used by :meth:`CommPlan.apply_many`
+accumulates in the same element order as ``np.bincount``, so batched
+columns match single applies bitwise too.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.kernels import _use_histogram
+from repro.simulate.common import resolve_x
+from repro.simulate.machine import MachineModel, PhaseCost, SpMVRun
+from repro.simulate.messages import Ledger
+
+__all__ = ["CommPlan"]
+
+
+@dataclass
+class _GroupPlan:
+    """Frozen :func:`repro.kernels.group_sum` over a fixed key array.
+
+    ``build`` mirrors ``group_sum``'s branch choice exactly, so
+    ``apply(values)`` returns the same float64 sums bit for bit:
+
+    - ``hist``: ``index`` holds the min-shifted keys, ``length`` the key
+      span, ``take`` the surviving bins — one ``np.bincount`` pass;
+    - ``scatter``: ``index`` holds the unique-inverse positions,
+      ``length`` the group count — one ``np.add.at`` pass;
+    - ``empty``: no keys; values pass through (they are empty too).
+    """
+
+    mode: str
+    index: np.ndarray
+    length: int
+    take: np.ndarray | None = None
+
+    @classmethod
+    def build(cls, keys: np.ndarray) -> tuple["_GroupPlan", np.ndarray]:
+        """Compile the plan for ``keys``; returns ``(plan, unique_keys)``."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return cls("empty", keys.copy(), 0), keys.copy()
+        kmin = int(keys.min())
+        span = int(keys.max()) - kmin + 1
+        if _use_histogram(span, keys.size):
+            shifted = keys - kmin
+            counts = np.bincount(shifted, minlength=span)
+            take = np.flatnonzero(counts > 0)
+            return cls("hist", shifted, span, take), take + kmin
+        uniq, inv = np.unique(keys, return_inverse=True)
+        return cls("scatter", inv, int(uniq.size)), uniq
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        if self.mode == "empty":
+            return values.copy()
+        if self.mode == "hist":
+            sums = np.bincount(self.index, weights=values, minlength=self.length)
+            return sums[self.take]
+        sums = np.zeros(self.length, dtype=values.dtype)
+        np.add.at(sums, self.index, values)
+        return sums
+
+    def apply_many(self, values: np.ndarray) -> np.ndarray:
+        """Column-batched :meth:`apply` over ``values`` of shape (items, r)."""
+        if self.mode == "empty":
+            return values.copy()
+        sums = np.zeros((self.length, values.shape[1]), dtype=values.dtype)
+        np.add.at(sums, self.index, values)
+        return sums[self.take] if self.mode == "hist" else sums
+
+
+@dataclass
+class CommPlan:
+    """One partition's SpMV, compiled for repeated application.
+
+    Built by :func:`repro.runtime.compile_plan`; treat every field as
+    frozen — the ledger and phase schedule are shared by all runs the
+    plan produces.
+    """
+
+    executor: str
+    kind: str
+    nparts: int
+    nrows: int
+    ncols: int
+    nnz: int
+    ledger: Ledger
+    phases: list[PhaseCost]
+    pre_cols: np.ndarray
+    pre_vals: np.ndarray
+    group1: _GroupPlan
+    fold_rows: np.ndarray
+    group2: _GroupPlan | None = None
+    main_rows: np.ndarray | None = None
+    main_cols: np.ndarray | None = None
+    main_vals: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------- apply
+
+    def default_x(self) -> np.ndarray:
+        """The executors' default input vector."""
+        return resolve_x(None, self.ncols)
+
+    def apply_y(self, x: np.ndarray | None = None) -> np.ndarray:
+        """``A @ x`` through the compiled schedule — just the vector.
+
+        Bit-identical to the matching per-call executor's ``run.y``.
+        """
+        x = resolve_x(x, self.ncols)
+        psums = self.group1.apply(self.pre_vals * x[self.pre_cols])
+        fsums = self.group2.apply(psums) if self.group2 is not None else psums
+        if self.main_rows is None:
+            return np.bincount(self.fold_rows, weights=fsums, minlength=self.nrows)
+        y = np.bincount(
+            self.main_rows,
+            weights=self.main_vals * x[self.main_cols],
+            minlength=self.nrows,
+        )
+        if self.fold_rows.size:
+            y += np.bincount(self.fold_rows, weights=fsums, minlength=self.nrows)
+        return y
+
+    def apply(self, x: np.ndarray | None = None) -> SpMVRun:
+        """One simulated multiply with zero per-call set-up.
+
+        Only ``y`` is computed per call; the returned run shares this
+        plan's (frozen) ledger, phase schedule and meta — treat them
+        as read-only, since every run of this plan (and the plan's own
+        ``words``/``msgs``/``time``) reads the same objects.
+        """
+        return SpMVRun(
+            y=self.apply_y(x),
+            ledger=self.ledger,
+            phases=self.phases,
+            nnz=self.nnz,
+            kind=self.kind,
+            meta=self.meta,
+        )
+
+    def apply_many(self, xs: np.ndarray) -> np.ndarray:
+        """Batch column-stacked right-hand sides ``xs`` (ncols, r).
+
+        Returns ``Y`` of shape (nrows, r); each column is bit-identical
+        to ``apply_y(xs[:, j])``.  A 1-D input is promoted to a single
+        column and returned 1-D.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim == 1:
+            return self.apply_y(xs)
+        if xs.ndim != 2 or xs.shape[0] != self.ncols:
+            raise SimulationError(
+                f"xs has shape {xs.shape}, expected ({self.ncols}, r)"
+            )
+        psums = self.group1.apply_many(self.pre_vals[:, None] * xs[self.pre_cols])
+        fsums = self.group2.apply_many(psums) if self.group2 is not None else psums
+        r = xs.shape[1]
+        if self.main_rows is None:
+            y = np.zeros((self.nrows, r))
+            np.add.at(y, self.fold_rows, fsums)
+            return y
+        y = np.zeros((self.nrows, r))
+        np.add.at(y, self.main_rows, self.main_vals[:, None] * xs[self.main_cols])
+        if self.fold_rows.size:
+            folded = np.zeros((self.nrows, r))
+            np.add.at(folded, self.fold_rows, fsums)
+            y = y + folded
+        return y
+
+    # ------------------------------------------------------------- costs
+
+    @property
+    def words(self) -> int:
+        """Words sent per iteration (static across applies)."""
+        return self.ledger.total_volume()
+
+    @property
+    def msgs(self) -> int:
+        """Messages sent per iteration (static across applies)."""
+        return self.ledger.total_msgs()
+
+    def time(self, machine: MachineModel) -> float:
+        """Simulated per-iteration run time under ``machine``."""
+        return sum(
+            machine.phase_time(
+                ph.flops, self.ledger if ph.comm_phase else None, ph.comm_phase
+            )
+            for ph in self.phases
+        )
+
+    # ------------------------------------------------------------- state
+
+    def to_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Split the plan into a JSON header and named arrays.
+
+        The inverse of :meth:`from_state`; used by
+        :func:`repro.partition.serialize.save_plan`.
+        """
+        from repro.partition.serialize import json_safe_meta
+
+        header: dict = {
+            "executor": self.executor,
+            "kind": self.kind,
+            "nparts": self.nparts,
+            "nrows": self.nrows,
+            "ncols": self.ncols,
+            "nnz": self.nnz,
+            "meta": json_safe_meta(self.meta),
+            "has_main": self.main_rows is not None,
+            "groups": [
+                None
+                if g is None
+                else {"mode": g.mode, "length": g.length, "has_take": g.take is not None}
+                for g in (self.group1, self.group2)
+            ],
+            "phases": [
+                {
+                    "name": ph.name,
+                    "comm_phase": ph.comm_phase,
+                    "has_flops": ph.flops is not None,
+                }
+                for ph in self.phases
+            ],
+            "ledger_phases": self.ledger.phase_names,
+        }
+        arrays: dict[str, np.ndarray] = {
+            "pre_cols": self.pre_cols,
+            "pre_vals": self.pre_vals,
+            "fold_rows": self.fold_rows,
+            "g1_index": self.group1.index,
+        }
+        if self.group1.take is not None:
+            arrays["g1_take"] = self.group1.take
+        if self.group2 is not None:
+            arrays["g2_index"] = self.group2.index
+            if self.group2.take is not None:
+                arrays["g2_take"] = self.group2.take
+        if self.main_rows is not None:
+            arrays["main_rows"] = self.main_rows
+            arrays["main_cols"] = self.main_cols
+            arrays["main_vals"] = self.main_vals
+        for i, ph in enumerate(self.phases):
+            if ph.flops is not None:
+                arrays[f"phase{i}_flops"] = ph.flops
+        for i, name in enumerate(self.ledger.phase_names):
+            src, dst, words = self.ledger.phase_pairs(name)
+            arrays[f"ledger{i}_src"] = src
+            arrays[f"ledger{i}_dst"] = dst
+            arrays[f"ledger{i}_words"] = words
+        return header, arrays
+
+    @classmethod
+    def from_state(cls, header: dict, arrays: dict[str, np.ndarray]) -> "CommPlan":
+        """Rebuild a plan saved by :meth:`to_state`."""
+
+        def group(slot: int, prefix: str) -> _GroupPlan | None:
+            spec = header["groups"][slot]
+            if spec is None:
+                return None
+            return _GroupPlan(
+                mode=spec["mode"],
+                index=arrays[f"{prefix}_index"],
+                length=int(spec["length"]),
+                take=arrays[f"{prefix}_take"] if spec["has_take"] else None,
+            )
+
+        ledger = Ledger(int(header["nparts"]))
+        for i, name in enumerate(header["ledger_phases"]):
+            ledger.record_pairs(
+                name,
+                arrays[f"ledger{i}_src"],
+                arrays[f"ledger{i}_dst"],
+                arrays[f"ledger{i}_words"],
+            )
+        phases = [
+            PhaseCost(
+                name=spec["name"],
+                flops=arrays[f"phase{i}_flops"] if spec["has_flops"] else None,
+                comm_phase=spec["comm_phase"],
+            )
+            for i, spec in enumerate(header["phases"])
+        ]
+        has_main = header["has_main"]
+        return cls(
+            executor=header["executor"],
+            kind=header["kind"],
+            nparts=int(header["nparts"]),
+            nrows=int(header["nrows"]),
+            ncols=int(header["ncols"]),
+            nnz=int(header["nnz"]),
+            ledger=ledger,
+            phases=phases,
+            pre_cols=arrays["pre_cols"],
+            pre_vals=arrays["pre_vals"],
+            group1=group(0, "g1"),
+            fold_rows=arrays["fold_rows"],
+            group2=group(1, "g2"),
+            main_rows=arrays["main_rows"] if has_main else None,
+            main_cols=arrays["main_cols"] if has_main else None,
+            main_vals=arrays["main_vals"] if has_main else None,
+            meta={
+                k: tuple(v) if isinstance(v, list) else v
+                for k, v in header.get("meta", {}).items()
+            },
+        )

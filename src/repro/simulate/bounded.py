@@ -26,7 +26,14 @@ from repro.kernels import group_sum, pair_counts, unique_ints
 from repro.partition.checkerboard import mesh_shape
 from repro.partition.types import SpMVPartition
 from repro.simulate import profiling
-from repro.simulate.common import check_fold_ownership, check_locality, delivery_keys
+from repro.simulate.common import (
+    check_fold_ownership,
+    check_locality,
+    classify_nonzeros,
+    delivery_keys,
+    mesh_intermediate,
+    resolve_x,
+)
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
 
@@ -47,21 +54,11 @@ def run_s2d_bounded(
     pr, pc = shape if shape is not None else p.meta.get("mesh", mesh_shape(k))
     if pr * pc != k:
         raise ConfigError(f"mesh {pr}x{pc} does not cover {k} processors")
-    if x is None:
-        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
-    x = np.asarray(x, dtype=np.float64)
-    if x.size != ncols:
-        raise SimulationError(f"x has size {x.size}, expected {ncols}")
+    x = resolve_x(x, ncols)
 
     rows, cols = m.row, m.col
     vals = np.asarray(m.data, dtype=np.float64)
-    rp = p.vectors.y_part[rows]
-    cp = p.vectors.x_part[cols]
-    owner = p.nnz_part
-    pre_mask = (owner == cp) & (rp != cp)
-    main_mask = owner == rp
-    if not np.all(pre_mask ^ main_mask):
-        raise SimulationError("nonzero classification is not a partition")
+    rp, cp, owner, pre_mask, main_mask = classify_nonzeros(p)
 
     ledger = Ledger(k)
 
@@ -85,11 +82,8 @@ def run_s2d_bounded(
         x_j = recv_keys % ncols
         x_src = p.vectors.x_part[x_j]
 
-    def intermediate(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-        return (src // pc) * pc + (dst % pc)
-
-    x_t = intermediate(x_src, x_dst)
-    y_t = intermediate(y_src, y_dst)
+    x_t = mesh_intermediate(x_src, x_dst, pc)
+    y_t = mesh_intermediate(y_src, y_dst, pc)
 
     # ---------------- Row phase (hop 1, with combining) ----------------
     with profiling.stage("route-row"):

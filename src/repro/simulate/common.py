@@ -15,7 +15,54 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.kernels import in_sorted, unique_ints
 
-__all__ = ["delivery_keys", "check_locality", "check_fold_ownership"]
+__all__ = [
+    "classify_nonzeros",
+    "mesh_intermediate",
+    "resolve_x",
+    "delivery_keys",
+    "check_locality",
+    "check_fold_ownership",
+]
+
+
+def resolve_x(x: np.ndarray | None, ncols: int) -> np.ndarray:
+    """The executors' input vector: the default ramp when ``x`` is
+    None, otherwise ``x`` validated and as float64."""
+    if x is None:
+        return np.arange(1, ncols + 1, dtype=np.float64) / ncols
+    x = np.asarray(x, dtype=np.float64)
+    if x.size != ncols:
+        raise SimulationError(f"x has size {x.size}, expected {ncols}")
+    return x
+
+
+def classify_nonzeros(p) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The single-phase nonzero classification of partition ``p``.
+
+    Returns ``(rp, cp, owner, pre_mask, main_mask)``: the row/column
+    vector owners and nonzero owners, the group-(ii) precompute mask
+    (x local, y non-local) and the row-owner compute mask.  Raises
+    unless the two masks partition every nonzero.  Shared by the
+    single-phase executor, the mesh-routed executor and the runtime
+    compiler so the classification cannot drift between them.
+    """
+    rp = p.vectors.y_part[p.matrix.row]
+    cp = p.vectors.x_part[p.matrix.col]
+    owner = p.nnz_part
+    pre_mask = (owner == cp) & (rp != cp)
+    main_mask = owner == rp
+    if not np.all(pre_mask ^ main_mask):
+        raise SimulationError("nonzero classification is not a partition")
+    return rp, cp, owner, pre_mask, main_mask
+
+
+def mesh_intermediate(src: np.ndarray, dst: np.ndarray, pc: int) -> np.ndarray:
+    """Two-hop routing intermediate on a ``Pr × Pc`` mesh.
+
+    The processor in ``src``'s mesh row and ``dst``'s mesh column —
+    the combining stop of the s2D-b routed exchange.
+    """
+    return (src // pc) * pc + (dst % pc)
 
 
 def delivery_keys(receivers: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:

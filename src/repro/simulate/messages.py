@@ -123,6 +123,21 @@ class Ledger:
     def phase_names(self) -> list[str]:
         return list(self._order)
 
+    def phase_pairs(self, phase: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One phase's book as ``(src, dst, words)`` arrays, sorted by pair.
+
+        The round-trip partner of :meth:`record_pairs`: replaying the
+        returned arrays into a fresh ledger rebuilds the phase exactly.
+        An unknown phase yields empty arrays.
+        """
+        book = self._phases.get(phase, {})
+        if not book:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        pairs = np.array(sorted(book), dtype=np.int64)
+        words = np.array([book[(s, d)] for s, d in map(tuple, pairs)], dtype=np.int64)
+        return pairs[:, 0], pairs[:, 1], words
+
     def _arrays(self, phase: str) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         cached = self._agg.get(phase)
         if cached is not None:

@@ -33,7 +33,13 @@ from repro.errors import SimulationError
 from repro.kernels import group_sum, pair_counts
 from repro.partition.types import SpMVPartition
 from repro.simulate import profiling
-from repro.simulate.common import check_fold_ownership, check_locality, delivery_keys
+from repro.simulate.common import (
+    check_fold_ownership,
+    check_locality,
+    classify_nonzeros,
+    delivery_keys,
+    resolve_x,
+)
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
 
@@ -53,24 +59,13 @@ def run_single_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     m = p.matrix
     nrows, ncols = m.shape
     k = p.nparts
-    if x is None:
-        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
-    x = np.asarray(x, dtype=np.float64)
-    if x.size != ncols:
-        raise SimulationError(f"x has size {x.size}, expected {ncols}")
+    x = resolve_x(x, ncols)
 
     rows, cols = m.row, m.col
     vals = np.asarray(m.data, dtype=np.float64)
-    rp = p.vectors.y_part[rows]
-    cp = p.vectors.x_part[cols]
-    owner = p.nnz_part
-
-    # Group (ii): x local, y non-local → precompute.
-    pre_mask = (owner == cp) & (rp != cp)
-    # Everything else is finished in the compute phase at the row owner.
-    main_mask = owner == rp
-    if not np.all(pre_mask ^ main_mask):
-        raise SimulationError("nonzero classification is not a partition")
+    # Group (ii) precompute mask (x local, y non-local) vs the row-owner
+    # compute mask; everything else is a classification error.
+    rp, cp, owner, pre_mask, main_mask = classify_nonzeros(p)
 
     ledger = Ledger(k)
 

@@ -19,7 +19,7 @@ from repro.errors import SimulationError
 from repro.kernels import group_sum, pair_counts
 from repro.partition.types import SpMVPartition
 from repro.simulate import profiling
-from repro.simulate.common import check_locality, delivery_keys
+from repro.simulate.common import check_locality, delivery_keys, resolve_x
 from repro.simulate.machine import PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
 
@@ -32,11 +32,7 @@ def run_two_phase(p: SpMVPartition, x: np.ndarray | None = None) -> SpMVRun:
     m = p.matrix
     nrows, ncols = m.shape
     k = p.nparts
-    if x is None:
-        x = np.arange(1, ncols + 1, dtype=np.float64) / ncols
-    x = np.asarray(x, dtype=np.float64)
-    if x.size != ncols:
-        raise SimulationError(f"x has size {x.size}, expected {ncols}")
+    x = resolve_x(x, ncols)
 
     rows, cols = m.row, m.col
     vals = np.asarray(m.data, dtype=np.float64)

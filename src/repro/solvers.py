@@ -3,10 +3,13 @@
 The paper's motivation is iterative methods: SpMV repeats until
 convergence, so the per-iteration communication profile compounds into
 the solve's wall-clock.  This module provides the classic kernels on
-top of the distributed executors — every multiply goes through
-:func:`repro.simulate.run_single_phase` (or the routed executor for
-``s2D-b``), so each solve returns both the numerical answer *and* the
-accumulated communication bill.
+top of the compiled SpMV runtime — the partition is compiled once into
+a :class:`repro.runtime.CommPlan` (through the executor matching its
+kind: single-phase, two-phase, or the routed executor for ``s2D-b``)
+and every multiply is a pure :meth:`~repro.runtime.CommPlan.apply_y`,
+so each solve returns both the numerical answer *and* the accumulated
+communication bill without re-deriving the message structure per
+iteration.
 
 Supported: power iteration (dominant eigenpair), Jacobi and conjugate
 gradients for ``A z = b``.  Vector operations (axpy, dot) are assumed
@@ -20,11 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.partition.types import SpMVPartition
-from repro.simulate.bounded import run_s2d_bounded
+from repro.runtime import CommPlan, compile_plan
 from repro.simulate.machine import MachineModel
-from repro.simulate.singlephase import run_single_phase
 
 __all__ = ["SolveResult", "power_iteration", "jacobi", "conjugate_gradient"]
 
@@ -44,26 +46,52 @@ class SolveResult:
 
 
 class _SpMVEngine:
-    """Runs y ← A·x through the right executor, accumulating costs."""
+    """Runs y ← A·x through a compiled plan, accumulating costs.
 
-    def __init__(self, p: SpMVPartition, machine: MachineModel):
+    The communication profile of a plan is static, so the per-iteration
+    words/messages/time are computed once at set-up and each multiply
+    is a pure compiled apply.
+    """
+
+    def __init__(
+        self,
+        p: SpMVPartition,
+        machine: MachineModel,
+        plan: CommPlan | None = None,
+    ):
         m, n = p.matrix.shape
         if m != n:
             raise SimulationError("iterative solvers need a square matrix")
         self.p = p
         self.machine = machine
+        self.plan = compile_plan(p) if plan is None else plan
+        # A plan compiled from a *different* matrix would silently solve
+        # the wrong system (the compiled path skips the per-call serial
+        # verification), so reject every cheap-to-spot mismatch.
+        if (
+            (self.plan.nrows, self.plan.ncols) != (m, n)
+            or self.plan.nnz != p.matrix.nnz
+            or self.plan.nparts != p.nparts
+        ):
+            raise SimulationError(
+                f"plan compiled for shape ({self.plan.nrows}, {self.plan.ncols}), "
+                f"nnz {self.plan.nnz}, K={self.plan.nparts} does not match the "
+                f"partition's ({m}, {n}), nnz {p.matrix.nnz}, K={p.nparts}"
+            )
         self.words = 0
         self.msgs = 0
         self.time = 0.0
         self.n = n
-        self._run = run_s2d_bounded if p.kind == "s2D-b" else run_single_phase
+        self._iter_words = self.plan.words
+        self._iter_msgs = self.plan.msgs
+        self._iter_time = self.plan.time(machine)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        run = self._run(self.p, x)
-        self.words += run.ledger.total_volume()
-        self.msgs += run.ledger.total_msgs()
-        self.time += run.time(self.machine)
-        return run.y
+        y = self.plan.apply_y(x)
+        self.words += self._iter_words
+        self.msgs += self._iter_msgs
+        self.time += self._iter_time
+        return y
 
     def reduction_cost(self) -> None:
         """One global dot/norm: local work + an allreduce."""
@@ -78,13 +106,19 @@ def power_iteration(
     tol: float = 1e-8,
     machine: MachineModel | None = None,
     x0: np.ndarray | None = None,
+    plan: CommPlan | None = None,
 ) -> SolveResult:
     """Dominant eigenvalue estimate by repeated distributed SpMV.
 
     ``result.x`` holds the eigenvector estimate; ``result.residual`` is
-    the last relative eigenvalue change.
+    the last absolute eigenvalue change (after a single iteration, the
+    distance from the zero initial estimate — always finite).  Pass a
+    precompiled ``plan`` to skip compilation (e.g. the engine's
+    memoized ``compiled_plan``).
     """
-    eng = _SpMVEngine(p, machine or MachineModel())
+    if iters < 1:
+        raise ConfigError(f"power_iteration needs iters >= 1, got {iters}")
+    eng = _SpMVEngine(p, machine or MachineModel(), plan)
     n = eng.n
     x = (np.ones(n) if x0 is None else np.asarray(x0, dtype=np.float64)).copy()
     x /= np.linalg.norm(x)
@@ -110,7 +144,9 @@ def power_iteration(
         x=x,
         iterations=it,
         converged=converged,
-        residual=abs(history[-1] - lam_old) if len(history) > 1 else np.inf,
+        residual=abs(history[-1] - history[-2])
+        if len(history) > 1
+        else abs(history[-1]),
         comm_words=eng.words,
         comm_msgs=eng.msgs,
         sim_time=eng.time,
@@ -124,9 +160,12 @@ def jacobi(
     iters: int = 200,
     tol: float = 1e-10,
     machine: MachineModel | None = None,
+    plan: CommPlan | None = None,
 ) -> SolveResult:
     """Jacobi iteration ``z ← D⁻¹(b − (A−D) z)`` for diagonally dominant A."""
-    eng = _SpMVEngine(p, machine or MachineModel())
+    if iters < 1:
+        raise ConfigError(f"jacobi needs iters >= 1, got {iters}")
+    eng = _SpMVEngine(p, machine or MachineModel(), plan)
     a = p.matrix
     d = np.asarray(a.diagonal(), dtype=np.float64)
     if np.any(d == 0):
@@ -165,9 +204,12 @@ def conjugate_gradient(
     iters: int = 200,
     tol: float = 1e-10,
     machine: MachineModel | None = None,
+    plan: CommPlan | None = None,
 ) -> SolveResult:
     """CG for symmetric positive definite ``A`` (values must be SPD)."""
-    eng = _SpMVEngine(p, machine or MachineModel())
+    if iters < 1:
+        raise ConfigError(f"conjugate_gradient needs iters >= 1, got {iters}")
+    eng = _SpMVEngine(p, machine or MachineModel(), plan)
     b = np.asarray(b, dtype=np.float64)
     z = np.zeros_like(b)
     r = b.copy()

@@ -73,6 +73,22 @@ def test_bench_simulate_quick(tmp_path):
     assert result["config"]["quick"] is True
 
 
+def test_bench_runtime_quick(tmp_path):
+    import bench_runtime
+
+    out = tmp_path / "BENCH_runtime.json"
+    result = bench_runtime.run(out, quick=True)
+    assert out.exists()
+    data = json.loads(out.read_text())
+    assert {"config", "entries", "solver", "acceptance"} <= set(data)
+    assert len(data["entries"]) == 12  # 2 models x 2 K values x 3 executors
+    for entry in data["entries"]:
+        assert entry["apply_s"] > 0
+        assert entry["identical"] is True
+    assert data["solver"]["comm_words_equal"] is True
+    assert result["config"]["quick"] is True
+
+
 def test_run_all_driver_quick(tmp_path):
     import run_all
 
@@ -81,6 +97,7 @@ def test_run_all_driver_quick(tmp_path):
         "BENCH_engine.json",
         "BENCH_partitioner.json",
         "BENCH_simulate.json",
+        "BENCH_runtime.json",
     }
     for artifact in results:
         assert (tmp_path / artifact).exists()

@@ -29,3 +29,15 @@ def test_example_runs(script):
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"
+    if script.name == "iterative_solver.py":
+        assert "Power iteration" in proc.stdout
+        assert "identical eigenvalue estimates" in proc.stdout
+        assert "reduction costs" in proc.stdout
+
+
+def test_iterative_solver_uses_library_solver():
+    """The example must run on repro.solvers.power_iteration (which
+    accounts reduction costs), not a hand-rolled duplicate."""
+    src = next(p for p in EXAMPLES if p.name == "iterative_solver.py").read_text()
+    assert "def power_iteration" not in src
+    assert "power_iteration" in src

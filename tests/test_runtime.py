@@ -1,0 +1,281 @@
+"""Compiled SpMV runtime: golden bit-identity against the per-call executors.
+
+``compile_plan`` must produce plans whose ``apply`` output ``y`` and
+per-iteration ledger are *bit-identical* to ``run_single_phase`` /
+``run_two_phase`` / ``run_s2d_bounded`` — on suite matrices, real
+partitioner output, random admissible partitions and rectangular
+instances — plus the batched ``apply_many``, plan persistence, the
+engine's memoized ``compiled_plan`` intermediate and the CLI ``solve``
+subcommand.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import make_s2d_bounded, s2d_heuristic
+from repro.engine import PartitionEngine
+from repro.errors import ConfigError, PartitionError, ReproError, SimulationError
+from repro.hypergraph import PartitionConfig
+from repro.partition import partition_1d_rowwise, partition_2d_finegrain
+from repro.partition.serialize import load_partition, load_plan, save_partition, save_plan
+from repro.runtime import CommPlan, compile_plan
+from repro.simulate import MachineModel
+from repro.simulate.report import run_partition
+
+from tests.conftest import random_s2d_partition
+
+CFG = PartitionConfig(seed=23, ninitial=2, fm_passes=2)
+
+
+def _assert_matches_executor(p, plan, x):
+    """plan.apply(x) must be bit-identical to the per-call executor."""
+    ref = run_partition(p, x)
+    run = plan.apply(x)
+    assert np.array_equal(run.y, ref.y)
+    assert run.ledger.phase_names == ref.ledger.phase_names
+    assert run.ledger.as_dict() == ref.ledger.as_dict()
+    assert len(run.phases) == len(ref.phases)
+    for got, want in zip(run.phases, ref.phases):
+        assert got.name == want.name
+        assert got.comm_phase == want.comm_phase
+        if want.flops is None:
+            assert got.flops is None
+        else:
+            assert np.array_equal(got.flops, want.flops)
+    assert run.nnz == ref.nnz and run.kind == ref.kind
+
+
+@pytest.fixture(scope="module")
+def partitioned_instances():
+    """(partition, expected executor) across all three execution models."""
+    import scipy.sparse as sp
+
+    from repro.generators.mesh import knn_mesh
+    from repro.generators.suite import table1_suite
+    from repro.sparse.coo import canonical_coo
+
+    rng = np.random.default_rng(77)
+    mesh = knn_mesh(300, 6, dim=2, seed=7)
+    oned = partition_1d_rowwise(mesh, 4, CFG)
+    s2d = s2d_heuristic(mesh, x_part=oned.vectors, nparts=4)
+    suite = table1_suite("tiny")[2].matrix()  # trdheim
+    rect = canonical_coo(sp.random(40, 55, density=0.12, random_state=5, format="coo"))
+    return [
+        (oned, "single"),
+        (s2d, "single"),
+        (make_s2d_bounded(s2d), "routed"),
+        (partition_2d_finegrain(mesh, 4, CFG), "two"),
+        (partition_1d_rowwise(suite, 3, CFG), "single"),
+        (random_s2d_partition(rng, mesh, 5), "single"),
+        (partition_2d_finegrain(rect, 4, CFG), "two"),
+    ]
+
+
+def test_apply_bit_identical_to_executors(partitioned_instances):
+    rng = np.random.default_rng(11)
+    for p, mode in partitioned_instances:
+        plan = compile_plan(p)
+        assert plan.executor == mode
+        for _ in range(3):  # repeated applies, fresh x each time
+            _assert_matches_executor(p, plan, rng.standard_normal(p.matrix.shape[1]))
+
+
+def test_apply_default_x_matches_executor(partitioned_instances):
+    for p, _ in partitioned_instances:
+        plan = compile_plan(p)
+        assert np.array_equal(plan.apply_y(), run_partition(p).y)
+
+
+def test_apply_many_matches_single_applies(partitioned_instances):
+    rng = np.random.default_rng(29)
+    for p, _ in partitioned_instances:
+        plan = compile_plan(p)
+        xs = rng.standard_normal((p.matrix.shape[1], 4))
+        ys = plan.apply_many(xs)
+        assert ys.shape == (p.matrix.shape[0], 4)
+        for j in range(4):
+            assert np.array_equal(ys[:, j], plan.apply_y(xs[:, j]))
+        # 1-D input degenerates to a single apply
+        assert np.array_equal(plan.apply_many(xs[:, 0]), plan.apply_y(xs[:, 0]))
+
+
+def test_static_costs_match_executor_run(partitioned_instances):
+    machine = MachineModel(alpha=50, beta=2, gamma=1)
+    for p, _ in partitioned_instances:
+        plan = compile_plan(p)
+        ref = run_partition(p)
+        assert plan.words == ref.ledger.total_volume()
+        assert plan.msgs == ref.ledger.total_msgs()
+        assert plan.time(machine) == ref.time(machine)
+
+
+def test_plan_rejects_wrong_x_size(partitioned_instances):
+    p, _ = partitioned_instances[0]
+    plan = compile_plan(p)
+    with pytest.raises(SimulationError, match="size"):
+        plan.apply_y(np.ones(plan.ncols + 1))
+    with pytest.raises(SimulationError, match="shape"):
+        plan.apply_many(np.ones((plan.ncols + 1, 2)))
+
+
+def test_compile_rejects_unknown_executor(partitioned_instances):
+    p, _ = partitioned_instances[0]
+    with pytest.raises(ConfigError, match="unknown executor"):
+        compile_plan(p, executor="mystery")
+
+
+def test_compile_validates_like_executor(rng, medium_square):
+    """Compilation inherits the executor's admissibility check."""
+    p = random_s2d_partition(rng, medium_square, 4)
+    p.nnz_part = p.nnz_part.copy()
+    bad = np.flatnonzero(
+        (p.vectors.y_part[p.matrix.row] != 0) & (p.vectors.x_part[p.matrix.col] != 0)
+    )
+    p.nnz_part[bad[0]] = 0  # assign a nonzero to neither owner
+    with pytest.raises(PartitionError):
+        compile_plan(p)
+
+
+def test_forced_executor_modes_agree_on_y(partitioned_instances):
+    """An s2D partition runs under both models; numerics differ only in
+    summation order, so results agree to round-off."""
+    p, _ = partitioned_instances[1]  # s2D
+    single = compile_plan(p, executor="single")
+    two = compile_plan(p, executor="two")
+    x = np.linspace(-1, 1, p.matrix.shape[1])
+    assert np.allclose(single.apply_y(x), two.apply_y(x), rtol=1e-10, atol=1e-12)
+
+
+# ---------------------------------------------------------------- persistence
+
+
+def test_plan_roundtrip(tmp_path, partitioned_instances):
+    rng = np.random.default_rng(41)
+    machine = MachineModel()
+    for i, (p, _) in enumerate(partitioned_instances):
+        plan = compile_plan(p)
+        path = tmp_path / f"plan{i}.npz"
+        save_plan(plan, path)
+        back = load_plan(path)
+        assert isinstance(back, CommPlan)
+        assert (back.executor, back.kind, back.nparts) == (
+            plan.executor,
+            plan.kind,
+            plan.nparts,
+        )
+        x = rng.standard_normal(p.matrix.shape[1])
+        assert np.array_equal(back.apply_y(x), plan.apply_y(x))
+        assert back.ledger.as_dict() == plan.ledger.as_dict()
+        assert back.time(machine) == plan.time(machine)
+        _assert_matches_executor(p, back, rng.standard_normal(p.matrix.shape[1]))
+
+
+def test_plan_roundtrip_keeps_mesh_meta(tmp_path, partitioned_instances):
+    plan = compile_plan(partitioned_instances[2][0])  # s2D-b
+    save_plan(plan, tmp_path / "b.npz")
+    back = load_plan(tmp_path / "b.npz")
+    assert tuple(back.meta["mesh"]) == tuple(plan.meta["mesh"])
+
+
+def test_load_partition_rejects_plan_file(tmp_path, partitioned_instances):
+    p, _ = partitioned_instances[0]
+    save_plan(compile_plan(p), tmp_path / "plan.npz")
+    with pytest.raises(ReproError, match="comm-plan"):
+        load_partition(tmp_path / "plan.npz")
+
+
+def test_load_plan_rejects_partition_file(tmp_path, partitioned_instances):
+    p, _ = partitioned_instances[0]
+    save_partition(p, tmp_path / "part.npz")
+    with pytest.raises(ReproError, match="load_plan|partition"):
+        load_plan(tmp_path / "part.npz")
+
+
+@pytest.mark.parametrize("loader", [load_partition, load_plan])
+def test_unknown_version_rejected(tmp_path, loader):
+    header = np.frombuffer(json.dumps({"version": 99}).encode(), dtype=np.uint8)
+    np.savez(tmp_path / "future.npz", header=header)
+    with pytest.raises(ReproError, match="version 99"):
+        loader(tmp_path / "future.npz")
+
+
+def test_version1_partition_files_still_load(tmp_path, partitioned_instances):
+    """Files written before the payload tag existed (version 1) load."""
+    p, _ = partitioned_instances[0]
+    header = {
+        "version": 1,
+        "kind": p.kind,
+        "nparts": p.nparts,
+        "shape": list(p.matrix.shape),
+        "meta": {},
+    }
+    np.savez(
+        tmp_path / "v1.npz",
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        row=p.matrix.row,
+        col=p.matrix.col,
+        data=p.matrix.data,
+        nnz_part=p.nnz_part,
+        x_part=p.vectors.x_part,
+        y_part=p.vectors.y_part,
+    )
+    back = load_partition(tmp_path / "v1.npz")
+    assert np.array_equal(back.nnz_part, p.nnz_part)
+
+
+def test_ledger_phase_pairs_roundtrip(partitioned_instances):
+    """phase_pairs is the round-trip partner of record_pairs."""
+    from repro.simulate.messages import Ledger
+
+    plan = compile_plan(partitioned_instances[2][0])  # s2D-b: multiple phases
+    rebuilt = Ledger(plan.nparts)
+    for name in plan.ledger.phase_names:
+        rebuilt.record_pairs(name, *plan.ledger.phase_pairs(name))
+    assert rebuilt.as_dict() == plan.ledger.as_dict()
+    empty = plan.ledger.phase_pairs("no-such-phase")
+    assert all(a.size == 0 for a in empty)
+
+
+# ---------------------------------------------------------------- engine + CLI
+
+
+def test_engine_memoizes_compiled_plan(medium_square):
+    eng = PartitionEngine(medium_square, seed=9)
+    plan = eng.plan("1d-rowwise", 4)
+    first = eng.compiled_plan(plan)
+    misses = eng.cache_stats["misses"]
+    again = eng.compiled_plan(plan)
+    assert again is first
+    assert eng.cache_stats["misses"] == misses
+    assert np.array_equal(first.apply_y(), run_partition(plan.partition).y)
+
+
+def test_engine_compiled_plan_no_cache(medium_square):
+    eng = PartitionEngine(medium_square, seed=9, cache=False)
+    plan = eng.plan("1d-rowwise", 4)
+    a = eng.compiled_plan(plan)
+    b = eng.compiled_plan(plan)
+    assert a is not b
+    assert a.ledger.as_dict() == b.ledger.as_dict()
+
+
+def test_cli_solve_power(capsys):
+    rc = main(
+        [
+            "solve", "--matrix", "trdheim", "--scale", "tiny", "--k", "4",
+            "--solver", "power", "--iters", "8",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "solver=power" in out
+    assert "iterations=" in out
+    assert "per-iteration plan:" in out
+
+
+def test_cli_solve_rejects_missing_matrix():
+    with pytest.raises(SystemExit):
+        main(["solve", "--k", "4"])

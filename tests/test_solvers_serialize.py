@@ -91,6 +91,124 @@ def test_solver_rejects_rectangular():
         power_iteration(p)
 
 
+def test_cg_converges_on_spd_mesh_operator():
+    """CG on a shifted symmetric kNN-mesh operator (SPD by dominance)."""
+    from repro.generators.mesh import knn_mesh
+
+    a = knn_mesh(150, 6, dim=2, seed=21).tocoo()
+    a = canonical_coo((a + a.T) * 0.5 + sp.eye(150) * 12.0)
+    p = partition_1d_rowwise(a, 4, CFG)
+    b = np.sin(np.arange(150) / 7.0)
+    res = conjugate_gradient(p, b, iters=400, tol=1e-11, machine=M)
+    assert res.converged
+    assert np.allclose(a @ res.x, b, atol=1e-8)
+    assert res.comm_words > 0 and res.sim_time > 0
+
+
+def test_jacobi_converges_on_diagonally_dominant():
+    """Jacobi on a strictly diagonally dominant (non-symmetric) matrix."""
+    rng = np.random.default_rng(3)
+    n = 60
+    a = sp.random(n, n, density=0.08, random_state=3, format="coo")
+    dom = np.abs(a.toarray()).sum(axis=1) + 1.0
+    a = canonical_coo(a + sp.diags(dom))
+    p = partition_1d_rowwise(a, 3, CFG)
+    b = rng.standard_normal(n)
+    res = jacobi(p, b, iters=400, tol=1e-12, machine=M)
+    assert res.converged
+    assert np.allclose(a @ res.x, b, atol=1e-9)
+
+
+def test_comm_bill_is_iterations_times_single_run(spd_partition):
+    """The accumulated bill equals iterations × one run's ledger totals —
+    the communication profile of a fixed partition is static."""
+    from repro.simulate import run_single_phase
+
+    single = run_single_phase(spd_partition).ledger
+    n = spd_partition.matrix.shape[0]
+    b = np.ones(n)
+    for res in (
+        power_iteration(spd_partition, iters=7, tol=0.0, machine=M),
+        jacobi(spd_partition, b, iters=9, tol=0.0, machine=M),
+        conjugate_gradient(spd_partition, b, iters=6, tol=0.0, machine=M),
+    ):
+        assert res.comm_words == res.iterations * single.total_volume()
+        assert res.comm_msgs == res.iterations * single.total_msgs()
+
+
+def test_power_iteration_residual_finite_at_low_iters(spd_partition):
+    """≤2 iterations must still report a finite residual."""
+    one = power_iteration(spd_partition, iters=1, machine=M)
+    assert one.iterations == 1 and np.isfinite(one.residual)
+    two = power_iteration(spd_partition, iters=2, machine=M)
+    assert two.iterations == 2 and np.isfinite(two.residual)
+    # a tol loose enough to converge immediately also stays finite
+    loose = power_iteration(spd_partition, iters=50, tol=1.0, machine=M)
+    assert loose.converged and np.isfinite(loose.residual)
+
+
+def test_solvers_reject_nonpositive_iters(spd_partition):
+    from repro.errors import ConfigError
+
+    b = np.ones(spd_partition.matrix.shape[0])
+    with pytest.raises(ConfigError, match="iters"):
+        power_iteration(spd_partition, iters=0)
+    with pytest.raises(ConfigError, match="iters"):
+        power_iteration(spd_partition, iters=-3)
+    with pytest.raises(ConfigError, match="iters"):
+        jacobi(spd_partition, b, iters=0)
+    with pytest.raises(ConfigError, match="iters"):
+        conjugate_gradient(spd_partition, b, iters=0)
+
+
+def test_solvers_reject_foreign_plan(spd_partition):
+    """A plan compiled from a different matrix must not silently solve
+    the wrong system."""
+    from repro.generators.mesh import knn_mesh
+    from repro.runtime import compile_plan
+
+    other = partition_1d_rowwise(
+        canonical_coo(knn_mesh(90, 5, dim=2, seed=2) + sp.eye(90)), 4, CFG
+    )
+    foreign = compile_plan(other)
+    with pytest.raises(SimulationError, match="does not match"):
+        power_iteration(spd_partition, plan=foreign)
+
+
+def test_solvers_accept_precompiled_plan(spd_partition):
+    """A precompiled plan yields the same solve as on-the-fly compile."""
+    from repro.runtime import compile_plan
+
+    plan = compile_plan(spd_partition)
+    base = power_iteration(spd_partition, iters=20, machine=M)
+    reused = power_iteration(spd_partition, iters=20, machine=M, plan=plan)
+    assert np.array_equal(base.x, reused.x)
+    assert base.history == reused.history
+    assert base.comm_words == reused.comm_words
+    assert base.sim_time == reused.sim_time
+
+
+def test_solver_matches_per_call_executor_loop(spd_partition):
+    """The compiled-runtime solve is bit-identical to a hand loop over
+    the per-call executor (the seed's formulation)."""
+    from repro.simulate import run_single_phase
+
+    n = spd_partition.matrix.shape[0]
+    x = np.ones(n)
+    x /= np.linalg.norm(x)
+    words = 0
+    history = []
+    for _ in range(10):
+        run = run_single_phase(spd_partition, x)
+        history.append(float(x @ run.y))
+        words += run.ledger.total_volume()
+        x = run.y / np.linalg.norm(run.y)
+    res = power_iteration(spd_partition, iters=10, tol=0.0, machine=M)
+    assert res.history == history
+    assert np.array_equal(res.x, x)
+    assert res.comm_words == words
+
+
 def test_jacobi_rejects_zero_diagonal():
     a = sp.coo_matrix((np.ones(2), ([0, 1], [1, 0])), shape=(2, 2))
     from repro.partition.types import SpMVPartition, VectorPartition
