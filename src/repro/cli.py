@@ -4,6 +4,7 @@
 
     python -m repro.cli suite  --which table1 --scale small
     python -m repro.cli table  --id 2 --scale tiny
+    python -m repro.cli table  --id 2 --jobs 4 --cache-dir ~/.cache/s2d-repro
     python -m repro.cli figure1
     python -m repro.cli spy --matrix trdheim --scheme s2d --k 3 --scale tiny
     python -m repro.cli partition --matrix c-big --scheme s2d --k 16
@@ -12,7 +13,11 @@
     python -m repro.cli simulate --matrix trdheim --k 8 --all
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --solver power
 
-The ``table`` subcommand regenerates any of the paper's Tables I–VII;
+The ``table`` subcommand regenerates any of the paper's Tables I–VII
+through the sweep orchestrator — ``--jobs N`` fans the per-matrix tasks
+over a process pool (records bit-identical to serial), ``--cache-dir``
+persists partitions and evaluated records so a warm rerun is pure
+cache reads;
 ``partition`` runs one scheme on one matrix and prints the quality
 summary the tables are made of; ``simulate`` runs the simulated SpMV
 executors themselves (``--all`` batches every registered method over
@@ -91,6 +96,16 @@ def main(argv: list[str] | None = None) -> int:
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("--id", type=int, choices=sorted(_TABLES), required=True)
     p_table.add_argument("--scale", choices=SCALES, default=None)
+    p_table.add_argument(
+        "--jobs", type=int, default=1,
+        help="sweep worker processes (1 = serial; records are "
+        "bit-identical either way)",
+    )
+    p_table.add_argument(
+        "--cache-dir", default=None,
+        help="persistent artifact cache directory; a warm rerun of the "
+        "same table is pure cache reads",
+    )
 
     sub.add_parser("figure1", help="print the Figure 1 worked example")
 
@@ -158,7 +173,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.cmd == "table":
         cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
-        print(_TABLES[args.id](cfg).text)
+        print(
+            _TABLES[args.id](
+                cfg, jobs=args.jobs, cache_dir=args.cache_dir
+            ).text
+        )
         return 0
 
     if args.cmd == "figure1":

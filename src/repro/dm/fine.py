@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.dm.decomposition import SQUARE, CoarseDM, coarse_dm
 from repro.dm.matching import bipartite_adjacency, hopcroft_karp
+from repro.kernels import concat_ranges
 
 __all__ = ["FineDM", "fine_dm"]
 
@@ -57,15 +58,20 @@ class FineDM:
         return np.concatenate([c for _, c in self.blocks])
 
 
-def _tarjan_scc(nv: int, adj: list[list[int]]) -> list[list[int]]:
-    """Iterative Tarjan SCC; components returned in reverse topological
-    order of the condensation (standard Tarjan emission order)."""
+def _tarjan_scc(
+    nv: int, indptr: np.ndarray, indices: np.ndarray
+) -> list[list[int]]:
+    """Iterative Tarjan SCC over a CSR digraph ``(indptr, indices)``;
+    components returned in reverse topological order of the condensation
+    (standard Tarjan emission order)."""
     index = np.full(nv, -1, dtype=np.int64)
     low = np.zeros(nv, dtype=np.int64)
     on_stack = np.zeros(nv, dtype=bool)
     stack: list[int] = []
     sccs: list[list[int]] = []
     counter = 0
+    ptr = indptr.tolist()
+    succ = indices.tolist()
 
     for root in range(nv):
         if index[root] != -1:
@@ -79,10 +85,11 @@ def _tarjan_scc(nv: int, adj: list[list[int]]) -> list[list[int]]:
                 stack.append(v)
                 on_stack[v] = True
             recurse = False
-            for i in range(pi, len(adj[v])):
-                w = adj[v][i]
+            start, end = ptr[v], ptr[v + 1]
+            for p in range(start + pi, end):
+                w = succ[p]
                 if index[w] == -1:
-                    work.append((v, i + 1))
+                    work.append((v, p - start + 1))
                     work.append((w, 0))
                     recurse = True
                     break
@@ -118,13 +125,13 @@ def fine_dm(rows: np.ndarray, cols: np.ndarray) -> FineDM:
         return FineDM(coarse=coarse, blocks=[])
 
     # Restrict the pattern to the square block and compress indices.
+    # ``s_rows`` / ``s_cols`` are sorted uniques (coarse_dm derives them
+    # from np.unique), so rank-in-block is a single searchsorted.
     in_s_row = np.isin(rows, s_rows)
     in_s_col = np.isin(cols, s_cols)
     keep = in_s_row & in_s_col
-    r_map = {int(r): i for i, r in enumerate(s_rows)}
-    c_map = {int(c): i for i, c in enumerate(s_cols)}
-    sr = np.array([r_map[int(r)] for r in rows[keep]], dtype=np.int64)
-    sc = np.array([c_map[int(c)] for c in cols[keep]], dtype=np.int64)
+    sr = np.searchsorted(s_rows, rows[keep])
+    sc = np.searchsorted(s_cols, cols[keep])
     ns = s_rows.size
 
     # Perfect matching of the square block (exists by DM construction).
@@ -133,16 +140,20 @@ def fine_dm(rows: np.ndarray, cols: np.ndarray) -> FineDM:
     if np.any(match_col == -1):  # pragma: no cover - DM guarantees this
         raise AssertionError("square block of the DM decomposition lost a perfect matching")
 
-    # Digraph on columns: c -> c' if row matched to c has a nonzero in c'.
-    digraph: list[list[int]] = [[] for _ in range(ns)]
-    for c in range(ns):
-        u = int(match_col[c])
-        for p in range(indptr[u], indptr[u + 1]):
-            cprime = int(adj[p])
-            if cprime != c:
-                digraph[c].append(cprime)
+    # Digraph on columns: c -> c' if row matched to c has a nonzero in
+    # c'.  Built directly in CSR form: gather each matched row's
+    # adjacency span (order-preserving ragged gather), drop self-edges.
+    starts = indptr[match_col]
+    ends = indptr[match_col + 1]
+    span = concat_ranges(starts, ends)
+    targets = adj[span]
+    sources = np.repeat(np.arange(ns, dtype=np.int64), ends - starts)
+    keep_edge = targets != sources
+    dg_indices = targets[keep_edge]
+    dg_indptr = np.zeros(ns + 1, dtype=np.int64)
+    np.cumsum(np.bincount(sources[keep_edge], minlength=ns), out=dg_indptr[1:])
 
-    sccs = _tarjan_scc(ns, digraph)
+    sccs = _tarjan_scc(ns, dg_indptr, dg_indices)
     # Tarjan emits components in reverse topological order; reversing
     # gives an order where edges go from earlier to later blocks, i.e.
     # a block *upper* triangular form.

@@ -73,6 +73,36 @@ def _digest(*arrays: np.ndarray) -> bytes:
     return h.digest()
 
 
+def _reachable_ndarray_bytes(values) -> int:
+    """Total ``nbytes`` of the distinct ndarrays reachable from
+    ``values`` through containers and object attributes.
+
+    Arrays are deduplicated by identity (a vector partition shared by
+    five plans counts once).  Engine back-references (``Plan.engine``)
+    are not descended into, so the walk stays within one memo store.
+    """
+    seen: set[int] = set()
+    total = 0
+    work = list(values)
+    while work:
+        obj = work.pop()
+        if isinstance(obj, PartitionEngine):
+            continue
+        oid = id(obj)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        if isinstance(obj, np.ndarray):
+            total += obj.nbytes
+        elif isinstance(obj, dict):
+            work.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            work.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            work.extend(vars(obj).values())
+    return total
+
+
 class PartitionEngine:
     """Unified partition/evaluate pipeline over one matrix.
 
@@ -88,6 +118,14 @@ class PartitionEngine:
     cache:
         When False, every call rebuilds its intermediates (results are
         identical; only work is repeated).
+    artifacts:
+        Optional persistent artifact store (duck-typed; see
+        :class:`repro.sweep.cache.ArtifactCache`).  When set, built
+        partitions and compiled communication plans are written through
+        to disk keyed on the matrix digest plus the full plan key, and
+        :meth:`plan` / :meth:`compiled_plan` consult the store before
+        building — a warm process reconstructs a table's plans from
+        pure cache reads.
     """
 
     def __init__(
@@ -98,13 +136,16 @@ class PartitionEngine:
         epsilon: float = 0.03,
         machine: MachineModel | None = None,
         cache: bool = True,
+        artifacts=None,
     ) -> None:
         self._matrix = canonical_coo(a)
         self.seed = seed
         self.epsilon = epsilon
         self.machine = machine or MachineModel()
         self.cache_enabled = bool(cache)
+        self.artifacts = artifacts
         self._store: dict = {}
+        self._matrix_digest: str | None = None
         self.cache_stats = {"hits": 0, "misses": 0}
 
     # ------------------------------------------------------------------
@@ -115,6 +156,19 @@ class PartitionEngine:
     def matrix(self):
         """The canonical COO matrix every method partitions."""
         return self._matrix
+
+    @property
+    def matrix_digest(self) -> str:
+        """Content digest of the canonical matrix (pattern + values +
+        shape).  The persistent-cache component that makes artifact
+        keys content-addressed: two engines over equal matrices share
+        disk artifacts, any change to the matrix invalidates them."""
+        if self._matrix_digest is None:
+            h = hashlib.sha1()
+            h.update(repr(self._matrix.shape).encode())
+            h.update(_digest(self._matrix.row, self._matrix.col, self._matrix.data))
+            self._matrix_digest = h.hexdigest()
+        return self._matrix_digest
 
     def _memo(self, key: tuple, build):
         if not self.cache_enabled:
@@ -133,8 +187,15 @@ class PartitionEngine:
         self.cache_stats = {"hits": 0, "misses": 0}
 
     def cache_info(self) -> dict:
-        """Hit/miss counters plus the number of stored entries."""
-        return {**self.cache_stats, "entries": len(self._store)}
+        """Hit/miss counters, stored-entry count, and ``cached_bytes``
+        — the total ``nbytes`` of every distinct ndarray reachable from
+        the memo store.  Sweep workers log it to track per-engine
+        memory pressure across a long grid."""
+        return {
+            **self.cache_stats,
+            "entries": len(self._store),
+            "cached_bytes": _reachable_ndarray_bytes(self._store.values()),
+        }
 
     # -- keys ----------------------------------------------------------
 
@@ -198,6 +259,33 @@ class PartitionEngine:
     # Planning and evaluation
     # ------------------------------------------------------------------
 
+    def plan_key(
+        self,
+        method: str,
+        nparts: int,
+        *,
+        config: PartitionConfig | None = None,
+        profile: bool = False,
+        **opts,
+    ) -> tuple:
+        """The full memo/artifact key :meth:`plan` would use.
+
+        Public so the sweep orchestrator can address persistent
+        artifacts (cached cell records) without building the plan
+        first.  ``config=None`` keys the engine-default config, exactly
+        as :meth:`plan` resolves it."""
+        if config is None:
+            config = self.partitioner()
+        return (
+            "plan",
+            resolve_method(method),
+            int(nparts),
+            self._config_key(config),
+            self._opts_key(opts),
+            ("defaults", self.epsilon),
+            ("profile", bool(profile)),
+        )
+
     def plan(
         self,
         method: str,
@@ -228,23 +316,24 @@ class PartitionEngine:
         name = resolve_method(method)
         if config is None:
             config = self.partitioner()
-        key = (
-            "plan",
-            name,
-            int(nparts),
-            self._config_key(config),
-            self._opts_key(opts),
-            ("defaults", self.epsilon),
-            ("profile", bool(profile)),
-        )
+        key = self.plan_key(name, nparts, config=config, profile=profile, **opts)
 
         def build() -> Plan:
             prof = None
-            if profile:
-                with hg_profiling.collect() as prof:
+            partition = None
+            # Profiled builds bypass the persistent store: a cached
+            # partition would report zero partitioner time.
+            use_artifacts = self.artifacts is not None and not profile
+            if use_artifacts:
+                partition = self.artifacts.fetch_partition(self.matrix_digest, key)
+            if partition is None:
+                if profile:
+                    with hg_profiling.collect() as prof:
+                        partition = METHODS[name](self, nparts, config, opts)
+                else:
                     partition = METHODS[name](self, nparts, config, opts)
-            else:
-                partition = METHODS[name](self, nparts, config, opts)
+                if use_artifacts:
+                    self.artifacts.store_partition(self.matrix_digest, key, partition)
             return Plan(
                 method=name,
                 nparts=int(nparts),
@@ -271,7 +360,21 @@ class PartitionEngine:
         re-deriving the message structure per multiply.
         """
         key = ("comm-plan", plan.key)
-        return self._memo(key, lambda: compile_plan(plan.partition))
+
+        def build() -> CommPlan:
+            # The artifact store applies its own "comm-plan" tag, so it
+            # is addressed by the bare plan key (see cache-key anatomy
+            # in DESIGN.md).
+            if self.artifacts is not None:
+                cached = self.artifacts.fetch_plan(self.matrix_digest, plan.key)
+                if cached is not None:
+                    return cached
+            built = compile_plan(plan.partition)
+            if self.artifacts is not None:
+                self.artifacts.store_plan(self.matrix_digest, plan.key, built)
+            return built
+
+        return self._memo(key, build)
 
     def simulate_all(
         self,

@@ -5,22 +5,36 @@ both the formatted text (printed by the benchmark harness) and the raw
 per-instance records (consumed by tests and EXPERIMENTS.md).  Matrix
 names match the paper so rows line up side by side.
 
-All quantitative tables drive one :class:`repro.engine.PartitionEngine`
-per matrix, so the schemes compared side by side share their vector
-partitions, block structures and batched block-DM analytics instead of
-recomputing them per method — e.g. Table II's s2D column reuses the 1D
-column's hypergraph run and one block-analytics pass per (matrix, K).
+All seven tables drive the sweep orchestrator
+(:mod:`repro.sweep`): each declares its grid — matrices × schemes × K
+over one seed and machine model — and consumes the resulting records.
+The orchestrator preserves the engine-affinity sharing the serial
+harness had (one :class:`repro.engine.PartitionEngine` per matrix, so
+Table II's s2D column reuses the 1D column's hypergraph run and one
+block-analytics pass per (matrix, K)) and adds two new controls:
+
+- ``jobs=N`` fans the per-matrix tasks out over a fork-based process
+  pool — records are bit-identical to a serial run;
+- ``cache_dir=…`` persists partitions and evaluated records in a
+  content-addressed store, so a warm rerun is pure cache reads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import PartitionEngine
 from repro.experiments.config import ExperimentConfig
-from repro.generators.suite import SuiteMatrix, table1_suite, table4_suite
 from repro.metrics import format_li, format_table, geomean
 from repro.simulate import PartitionQuality
+from repro.sweep import (
+    MatrixRef,
+    SchemeSpec,
+    SweepGrid,
+    SweepResult,
+    map_tasks,
+    run_sweep,
+    suite_refs,
+)
 
 __all__ = [
     "TableResult",
@@ -36,25 +50,69 @@ __all__ = [
 
 @dataclass
 class TableResult:
-    """A regenerated table: formatted text plus raw records."""
+    """A regenerated table: formatted text plus raw records.
+
+    ``meta`` carries sweep bookkeeping — per-engine cache statistics
+    (including ``cached_bytes`` memory-pressure numbers) and the job
+    count that produced the table.
+    """
 
     title: str
     headers: list[str]
     rows: list[list[str]]
     records: list[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def text(self) -> str:
         return format_table(self.headers, self.rows, title=self.title)
 
 
-def _properties_table(suite: list[SuiteMatrix], title: str) -> TableResult:
+# ----------------------------------------------------------------------
+# Shared sweep plumbing
+# ----------------------------------------------------------------------
+
+
+def _table_sweep(
+    which: str,
+    cfg: ExperimentConfig,
+    schemes: tuple[SchemeSpec, ...],
+    ks: tuple[int, ...],
+    *,
+    jobs: int,
+    cache_dir,
+) -> tuple[tuple[MatrixRef, ...], SweepResult]:
+    """Declare and run one quantitative table's grid."""
+    refs = suite_refs(which, cfg.scale)
+    grid = SweepGrid(
+        matrices=refs,
+        schemes=schemes,
+        ks=tuple(int(k) for k in ks),
+        seeds=(cfg.seed,),
+        machines=(cfg.machine,),
+    )
+    return refs, run_sweep(grid, jobs=jobs, cache_dir=cache_dir)
+
+
+def _sweep_meta(res: SweepResult, jobs: int) -> dict:
+    return {"jobs": jobs, "engines": res.engines}
+
+
+def _properties_cell(ref: MatrixRef) -> tuple:
+    """Worker body of the property tables (module-level: picklable)."""
+    sm = ref.suite_entry()
+    return sm.properties(), sm.application
+
+
+def _properties_table(
+    which: str, cfg: ExperimentConfig, title: str, jobs: int
+) -> TableResult:
+    refs = suite_refs(which, cfg.scale)
     headers = ["name", "n", "nnz", "davg", "dmax", "application"]
     rows, records = [], []
-    for sm in suite:
-        p = sm.properties()
+    for p, application in map_tasks(_properties_cell, refs, jobs=jobs):
         rows.append(
-            [p.name, p.nrows, p.nnz, f"{p.davg:.1f}", p.dmax, sm.application]
+            [p.name, p.nrows, p.nnz, f"{p.davg:.1f}", p.dmax, application]
         )
         records.append(
             {
@@ -66,24 +124,42 @@ def _properties_table(suite: list[SuiteMatrix], title: str) -> TableResult:
                 "skew": p.row_skew,
             }
         )
-    return TableResult(title=title, headers=headers, rows=rows, records=records)
-
-
-def run_table1(cfg: ExperimentConfig | None = None) -> TableResult:
-    """Table I: properties of the general test suite."""
-    cfg = cfg or ExperimentConfig()
-    return _properties_table(
-        table1_suite(cfg.scale),
-        f"Table I analog (scale={cfg.scale}): general matrices",
+    return TableResult(
+        title=title,
+        headers=headers,
+        rows=rows,
+        records=records,
+        meta={"jobs": jobs},
     )
 
 
-def run_table4(cfg: ExperimentConfig | None = None) -> TableResult:
+def run_table1(
+    cfg: ExperimentConfig | None = None, *, jobs: int = 1, cache_dir=None
+) -> TableResult:
+    """Table I: properties of the general test suite.
+
+    ``cache_dir`` is accepted for interface uniformity; property sweeps
+    build no partition artifacts, so it is unused.
+    """
+    cfg = cfg or ExperimentConfig()
+    return _properties_table(
+        "table1",
+        cfg,
+        f"Table I analog (scale={cfg.scale}): general matrices",
+        jobs,
+    )
+
+
+def run_table4(
+    cfg: ExperimentConfig | None = None, *, jobs: int = 1, cache_dir=None
+) -> TableResult:
     """Table IV: properties of the dense-row suite."""
     cfg = cfg or ExperimentConfig()
     return _properties_table(
-        table4_suite(cfg.scale),
+        "table4",
+        cfg,
         f"Table IV analog (scale={cfg.scale}): matrices with dense rows",
+        jobs,
     )
 
 
@@ -92,13 +168,12 @@ def run_table4(cfg: ExperimentConfig | None = None) -> TableResult:
 # ----------------------------------------------------------------------
 
 
-def _engine(a, cfg: ExperimentConfig) -> PartitionEngine:
-    """One engine per matrix: every scheme below shares its caches."""
-    return PartitionEngine(a, seed=cfg.seed, machine=cfg.machine)
-
-
 def run_table2(
-    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+    cfg: ExperimentConfig | None = None,
+    ks: tuple[int, ...] | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> TableResult:
     """Table II: 1D rowwise vs 2D fine-grain vs s2D (Algorithm 1)."""
     cfg = cfg or ExperimentConfig()
@@ -109,18 +184,29 @@ def run_table2(
         "2D:LI", "2D:lat(av/mx)", "2D:lam/1D", "2D:Sp",
         "s2D:LI", "s2D:lam/1D", "s2D:Sp",
     ]
+    # Slot 0 is shared between 1D and s2D: s2D refines 1D's cached
+    # vector partition, as in the paper's setup.
+    refs, res = _table_sweep(
+        "table1",
+        cfg,
+        (
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("finegrain", slot=1),
+            SchemeSpec("s2d-heuristic", slot=0),
+        ),
+        ks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
-    for idx, sm in enumerate(table1_suite(cfg.scale)):
-        eng = _engine(sm.matrix(), cfg)
+    for ref in refs:
         for k in ks:
-            q1 = eng.plan("1d-rowwise", k, config=cfg.partitioner(idx * 10)).quality()
-            q2 = eng.plan("finegrain", k, config=cfg.partitioner(idx * 10 + 1)).quality()
-            # Same config key as the 1D plan → s2D refines 1D's cached
-            # vector partition, as in the paper's setup.
-            qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
+            q1 = res.quality(ref.name, "1d-rowwise", k)
+            q2 = res.quality(ref.name, "finegrain", k)
+            qs = res.quality(ref.name, "s2d-heuristic", k)
             rec = {
-                "name": sm.name, "K": k,
+                "name": ref.name, "K": k,
                 "1D": q1, "2D": q2, "s2D": qs,
                 "lam_ratio_2d": q2.total_volume / q1.total_volume,
                 "lam_ratio_s2d": qs.total_volume / q1.total_volume,
@@ -129,7 +215,7 @@ def run_table2(
             per_k[k].append(rec)
             rows.append(
                 [
-                    sm.name, k,
+                    ref.name, k,
                     q1.format_li(), f"{q1.avg_msgs:.0f}/{q1.max_msgs}",
                     f"{q1.total_volume:.2e}", f"{q1.speedup:.1f}",
                     q2.format_li(), f"{q2.avg_msgs:.0f}/{q2.max_msgs}",
@@ -165,6 +251,7 @@ def run_table2(
         headers=headers,
         rows=rows,
         records=records,
+        meta=_sweep_meta(res, jobs),
     )
 
 
@@ -174,7 +261,11 @@ def run_table2(
 
 
 def run_table3(
-    cfg: ExperimentConfig | None = None, k: int | None = None
+    cfg: ExperimentConfig | None = None,
+    k: int | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> TableResult:
     """Table III: hypergraph Cartesian 2D-b vs the best unbounded scheme."""
     cfg = cfg or ExperimentConfig()
@@ -183,24 +274,36 @@ def run_table3(
         "name", "best(1D,2D,s2D):Sp", "scheme",
         "2Db:LI", "2Db:lat(av/mx)", "2Db:lam/1D", "2Db:Sp",
     ]
+    refs, res = _table_sweep(
+        "table1",
+        cfg,
+        (
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("finegrain", slot=1),
+            SchemeSpec("s2d-heuristic", slot=0),
+            SchemeSpec("checkerboard", slot=2),
+        ),
+        (k,),
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     rows, records = [], []
-    for idx, sm in enumerate(table1_suite(cfg.scale)):
-        eng = _engine(sm.matrix(), cfg)
-        q1 = eng.plan("1d-rowwise", k, config=cfg.partitioner(idx * 10)).quality()
-        q2 = eng.plan("finegrain", k, config=cfg.partitioner(idx * 10 + 1)).quality()
-        qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
-        qb = eng.plan("checkerboard", k, config=cfg.partitioner(idx * 10 + 2)).quality()
+    for ref in refs:
+        q1 = res.quality(ref.name, "1d-rowwise", k)
+        q2 = res.quality(ref.name, "finegrain", k)
+        qs = res.quality(ref.name, "s2d-heuristic", k)
+        qb = res.quality(ref.name, "checkerboard", k)
         best_name, best_q = max(
             (("1D", q1), ("2D", q2), ("s2D", qs)), key=lambda t: t[1].speedup
         )
         rec = {
-            "name": sm.name, "K": k, "best": best_name, "best_q": best_q,
+            "name": ref.name, "K": k, "best": best_name, "best_q": best_q,
             "2D-b": qb, "lam_ratio": qb.total_volume / q1.total_volume,
         }
         records.append(rec)
         rows.append(
             [
-                sm.name, f"{best_q.speedup:.1f}", best_name,
+                ref.name, f"{best_q.speedup:.1f}", best_name,
                 qb.format_li(), f"{qb.avg_msgs:.0f}/{qb.max_msgs}",
                 f"{rec['lam_ratio']:.2f}", f"{qb.speedup:.1f}",
             ]
@@ -221,6 +324,7 @@ def run_table3(
         headers=headers,
         rows=rows,
         records=records,
+        meta=_sweep_meta(res, jobs),
     )
 
 
@@ -230,7 +334,11 @@ def run_table3(
 
 
 def run_table5(
-    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+    cfg: ExperimentConfig | None = None,
+    ks: tuple[int, ...] | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> TableResult:
     """Table V: the dense-row suite under 1D, s2D and s2D-b."""
     cfg = cfg or ExperimentConfig()
@@ -241,18 +349,30 @@ def run_table5(
         "s2D:LI", "s2D:lam/1D",
         "s2Db:lat(av/mx)", "s2Db:lam/1D",
     ]
+    # All three share slot 0: s2D refines 1D's vectors, and s2D-b
+    # shares the cached s2D plan (same nonzero partition, mesh-routed
+    # schedule).
+    refs, res = _table_sweep(
+        "table4",
+        cfg,
+        (
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("s2d-heuristic", slot=0),
+            SchemeSpec("s2d-bounded", slot=0),
+        ),
+        ks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
-    for idx, sm in enumerate(table4_suite(cfg.scale)):
-        eng = _engine(sm.matrix(), cfg)
+    for ref in refs:
         for k in ks:
-            q1 = eng.plan("1d-rowwise", k, config=cfg.partitioner(idx * 10)).quality()
-            qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
-            # s2D-b shares the cached s2D plan: same nonzero partition,
-            # mesh-routed schedule.
-            qb = eng.plan("s2d-bounded", k, config=cfg.partitioner(idx * 10)).quality()
+            q1 = res.quality(ref.name, "1d-rowwise", k)
+            qs = res.quality(ref.name, "s2d-heuristic", k)
+            qb = res.quality(ref.name, "s2d-bounded", k)
             rec = {
-                "name": sm.name, "K": k, "1D": q1, "s2D": qs, "s2D-b": qb,
+                "name": ref.name, "K": k, "1D": q1, "s2D": qs, "s2D-b": qb,
                 "lam_s2d": qs.total_volume / q1.total_volume,
                 "lam_s2db": qb.total_volume / q1.total_volume,
             }
@@ -260,7 +380,7 @@ def run_table5(
             per_k[k].append(rec)
             rows.append(
                 [
-                    sm.name, k,
+                    ref.name, k,
                     q1.format_li(), f"{q1.avg_msgs:.0f}/{q1.max_msgs}",
                     f"{q1.total_volume:.2e}",
                     qs.format_li(), f"{rec['lam_s2d']:.2f}",
@@ -289,6 +409,7 @@ def run_table5(
         headers=headers,
         rows=rows,
         records=records,
+        meta=_sweep_meta(res, jobs),
     )
 
 
@@ -298,7 +419,11 @@ def run_table5(
 
 
 def run_table6(
-    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+    cfg: ExperimentConfig | None = None,
+    ks: tuple[int, ...] | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> TableResult:
     """Table VI: the latency-bounded schemes compared."""
     cfg = cfg or ExperimentConfig()
@@ -309,17 +434,28 @@ def run_table6(
         "1Db:LI", "1Db:lam/2Db",
         "s2Db:LI", "s2Db:lam/2Db",
     ]
+    # 1D-b and s2D-b both route the cached 1D vector partition (slot 0).
+    refs, res = _table_sweep(
+        "table4",
+        cfg,
+        (
+            SchemeSpec("checkerboard", slot=2),
+            SchemeSpec("1d-boman", slot=0),
+            SchemeSpec("s2d-bounded", slot=0),
+        ),
+        ks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
-    for idx, sm in enumerate(table4_suite(cfg.scale)):
-        eng = _engine(sm.matrix(), cfg)
+    for ref in refs:
         for k in ks:
-            qcb = eng.plan("checkerboard", k, config=cfg.partitioner(idx * 10 + 2)).quality()
-            # 1D-b and s2D-b both route the cached 1D vector partition.
-            q1b = eng.plan("1d-boman", k, config=cfg.partitioner(idx * 10)).quality()
-            qsb = eng.plan("s2d-bounded", k, config=cfg.partitioner(idx * 10)).quality()
+            qcb = res.quality(ref.name, "checkerboard", k)
+            q1b = res.quality(ref.name, "1d-boman", k)
+            qsb = res.quality(ref.name, "s2d-bounded", k)
             rec = {
-                "name": sm.name, "K": k,
+                "name": ref.name, "K": k,
                 "2D-b": qcb, "1D-b": q1b, "s2D-b": qsb,
                 "lam_1db": q1b.total_volume / qcb.total_volume,
                 "lam_s2db": qsb.total_volume / qcb.total_volume,
@@ -328,7 +464,7 @@ def run_table6(
             per_k[k].append(rec)
             rows.append(
                 [
-                    sm.name, k,
+                    ref.name, k,
                     qcb.format_li(), f"{qcb.total_volume:.2e}",
                     q1b.format_li(), f"{rec['lam_1db']:.2f}",
                     qsb.format_li(), f"{rec['lam_s2db']:.2f}",
@@ -352,6 +488,7 @@ def run_table6(
         headers=headers,
         rows=rows,
         records=records,
+        meta=_sweep_meta(res, jobs),
     )
 
 
@@ -361,7 +498,11 @@ def run_table6(
 
 
 def run_table7(
-    cfg: ExperimentConfig | None = None, ks: tuple[int, ...] | None = None
+    cfg: ExperimentConfig | None = None,
+    ks: tuple[int, ...] | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> TableResult:
     """Table VII: the Algorithm-1 s2D vs the medium-grain s2D."""
     cfg = cfg or ExperimentConfig()
@@ -371,22 +512,32 @@ def run_table7(
         "mg:LI", "mg:lat", "lam_mg",
         "s2D:LI", "s2D:lat", "s2D:lam/mg",
     ]
+    refs, res = _table_sweep(
+        "table4",
+        cfg,
+        (
+            SchemeSpec("medium-grain", slot=3),
+            SchemeSpec("s2d-heuristic", slot=0),
+        ),
+        ks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
-    for idx, sm in enumerate(table4_suite(cfg.scale)):
-        eng = _engine(sm.matrix(), cfg)
+    for ref in refs:
         for k in ks:
-            qmg = eng.plan("medium-grain", k, config=cfg.partitioner(idx * 10 + 3)).quality()
-            qs = eng.plan("s2d-heuristic", k, config=cfg.partitioner(idx * 10)).quality()
+            qmg = res.quality(ref.name, "medium-grain", k)
+            qs = res.quality(ref.name, "s2d-heuristic", k)
             rec = {
-                "name": sm.name, "K": k, "mg": qmg, "s2D": qs,
+                "name": ref.name, "K": k, "mg": qmg, "s2D": qs,
                 "lam_ratio": qs.total_volume / max(qmg.total_volume, 1),
             }
             records.append(rec)
             per_k[k].append(rec)
             rows.append(
                 [
-                    sm.name, k,
+                    ref.name, k,
                     qmg.format_li(), f"{qmg.avg_msgs:.0f}",
                     f"{qmg.total_volume:.2e}",
                     qs.format_li(), f"{qs.avg_msgs:.0f}",
@@ -411,4 +562,5 @@ def run_table7(
         headers=headers,
         rows=rows,
         records=records,
+        meta=_sweep_meta(res, jobs),
     )

@@ -1,0 +1,47 @@
+"""Parallel sweep orchestration with a persistent artifact cache.
+
+The experiment layer's answer to table-scale grids: a declarative
+:class:`SweepGrid` (matrices × schemes × K × seeds × machine models)
+compiles into a task DAG with per-matrix engine affinity
+(:mod:`repro.sweep.grid`), executes on a fork-based process pool with
+deterministic seed derivation (:mod:`repro.sweep.orchestrator`), and
+persists partitions, compiled communication plans and evaluated cell
+records in a content-addressed on-disk store
+(:mod:`repro.sweep.cache`) — a warm rerun of a full table is pure
+cache reads, and parallel records are bit-identical to serial ones.
+"""
+
+from repro.sweep.cache import ArtifactCache, cache_key
+from repro.sweep.grid import (
+    Cell,
+    MatrixRef,
+    MatrixTask,
+    SchemeSpec,
+    SweepGrid,
+    derive_seed,
+    suite_refs,
+)
+from repro.sweep.orchestrator import (
+    CellRecord,
+    SweepResult,
+    map_tasks,
+    quality_identical,
+    run_sweep,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "Cell",
+    "CellRecord",
+    "MatrixRef",
+    "MatrixTask",
+    "SchemeSpec",
+    "SweepGrid",
+    "SweepResult",
+    "cache_key",
+    "derive_seed",
+    "map_tasks",
+    "quality_identical",
+    "run_sweep",
+    "suite_refs",
+]

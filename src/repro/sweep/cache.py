@@ -1,0 +1,182 @@
+"""Content-addressed on-disk artifact cache for sweep experiments.
+
+Every artifact is addressed by the SHA-256 of a canonical rendering of
+its full provenance key; nothing is ever looked up by name.  The key
+anatomy (see DESIGN.md "Sweep orchestrator"):
+
+- **partitions** — ``("partition", serialize format version,
+  matrix digest, engine plan key)`` where the plan key already carries
+  the method name, K, the full partitioner config (epsilon, seed,
+  coarsening/FM knobs), any method opts (vector-partition digests,
+  mesh shapes) and the engine's epsilon default;
+- **compiled plans** — same, tagged ``"comm-plan"``;
+- **cell records** — ``("record", record schema version, serialize
+  format version, matrix digest, plan key, machine model)``.
+
+Changing *any* component — the matrix content, a config field, the
+seed, or a format version bump — therefore changes the address and
+forces a rebuild; stale entries are simply never referenced again.
+
+Partitions and compiled communication plans persist through
+:mod:`repro.partition.serialize` (format v2 ``.npz``); evaluated cell
+records persist as pickles of :class:`~repro.simulate.report.\
+PartitionQuality` (exact round-trip, so warm records are bit-identical
+to cold ones).  Writes are atomic (temp file + ``os.replace``) so
+concurrent sweep workers can share one cache directory; a corrupted or
+truncated entry is deleted and treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+
+from repro.partition import serialize
+from repro.partition.serialize import (
+    load_partition,
+    load_plan,
+    save_partition,
+    save_plan,
+)
+
+__all__ = ["ArtifactCache", "RECORD_VERSION", "cache_key"]
+
+#: Schema version of pickled cell records; bump when the record payload
+#: (PartitionQuality / SpMVRun / Ledger) changes incompatibly.
+RECORD_VERSION = 1
+
+
+def _canon(obj) -> str:
+    """Deterministic text rendering of a key component.
+
+    Handles exactly the types engine plan keys are made of; unknown
+    types are rejected so un-keyable state can never silently alias.
+    """
+    if isinstance(obj, (tuple, list)):
+        return "(" + ",".join(_canon(o) for o in obj) + ")"
+    if isinstance(obj, bytes):
+        return obj.hex()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return repr(obj)
+    raise TypeError(f"un-keyable cache key component: {obj!r}")
+
+
+def cache_key(*parts) -> str:
+    """SHA-256 hex address of a canonical key tuple."""
+    return hashlib.sha256(_canon(parts).encode()).hexdigest()
+
+
+class ArtifactCache:
+    """A persistent store under one root directory.
+
+    Satisfies the duck-type :class:`repro.engine.PartitionEngine`
+    expects from its ``artifacts`` parameter (``fetch_partition`` /
+    ``store_partition`` / ``fetch_plan`` / ``store_plan``), plus
+    record-level ``fetch_record`` / ``store_record`` used by the sweep
+    orchestrator.  ``stats`` counts hits / misses / stores / corrupt
+    evictions per payload kind.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key_hex: str, ext: str) -> pathlib.Path:
+        return self.root / key_hex[:2] / f"{key_hex}.{ext}"
+
+    def _fetch(self, path: pathlib.Path, loader):
+        if not path.exists():
+            self.stats["misses"] += 1
+            return None
+        try:
+            value = loader(path)
+        except Exception:
+            # Truncated download, torn write, version skew inside the
+            # payload, unpicklable garbage … evict and rebuild.
+            self.stats["corrupt"] += 1
+            self.stats["misses"] += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort eviction
+                pass
+            return None
+        self.stats["hits"] += 1
+        return value
+
+    def _store(self, path: pathlib.Path, writer) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp{path.suffix}"
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - failed write cleanup
+                tmp.unlink()
+        self.stats["stores"] += 1
+
+    # ------------------------------------------------------------------
+    # Partitions and compiled plans (serialize.py format v2)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def partition_key(matrix_digest: str, plan_key: tuple) -> str:
+        return cache_key(
+            "partition", serialize.FORMAT_VERSION, matrix_digest, plan_key
+        )
+
+    @staticmethod
+    def plan_key(matrix_digest: str, plan_key: tuple) -> str:
+        return cache_key(
+            "comm-plan", serialize.FORMAT_VERSION, matrix_digest, plan_key
+        )
+
+    def fetch_partition(self, matrix_digest: str, plan_key: tuple):
+        path = self._path(self.partition_key(matrix_digest, plan_key), "npz")
+        return self._fetch(path, load_partition)
+
+    def store_partition(self, matrix_digest: str, plan_key: tuple, p) -> None:
+        path = self._path(self.partition_key(matrix_digest, plan_key), "npz")
+        self._store(path, lambda tmp: save_partition(p, tmp))
+
+    def fetch_plan(self, matrix_digest: str, plan_key: tuple):
+        path = self._path(self.plan_key(matrix_digest, plan_key), "npz")
+        return self._fetch(path, load_plan)
+
+    def store_plan(self, matrix_digest: str, plan_key: tuple, plan) -> None:
+        path = self._path(self.plan_key(matrix_digest, plan_key), "npz")
+        self._store(path, lambda tmp: save_plan(plan, tmp))
+
+    # ------------------------------------------------------------------
+    # Evaluated cell records
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def record_key(matrix_digest: str, plan_key: tuple, machine_key: tuple) -> str:
+        return cache_key(
+            "record",
+            RECORD_VERSION,
+            serialize.FORMAT_VERSION,
+            matrix_digest,
+            plan_key,
+            machine_key,
+        )
+
+    def fetch_record(self, matrix_digest: str, plan_key: tuple, machine_key: tuple):
+        path = self._path(
+            self.record_key(matrix_digest, plan_key, machine_key), "pkl"
+        )
+        return self._fetch(path, lambda p: pickle.loads(p.read_bytes()))
+
+    def store_record(
+        self, matrix_digest: str, plan_key: tuple, machine_key: tuple, record
+    ) -> None:
+        path = self._path(
+            self.record_key(matrix_digest, plan_key, machine_key), "pkl"
+        )
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store(path, lambda tmp: tmp.write_bytes(payload))

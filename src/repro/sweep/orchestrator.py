@@ -1,0 +1,272 @@
+"""Parallel sweep execution over the compiled task DAG.
+
+:func:`run_sweep` executes a :class:`~repro.sweep.grid.SweepGrid` —
+serially, or on a fork-based process pool (``jobs > 1``).  Each
+:class:`~repro.sweep.grid.MatrixTask` is one unit of work: the worker
+materializes the matrix, builds one :class:`~repro.engine.\
+PartitionEngine` (threading the shared :class:`~repro.sweep.cache.\
+ArtifactCache` through its ``artifacts`` hook) and walks the task's
+cells in DAG order.  Results come back as :class:`CellRecord` lists and
+are reassembled in grid order, so the output is byte-for-byte
+independent of scheduling.
+
+Determinism guarantees (pinned by the parity tests):
+
+- cell seeds are pure functions of grid coordinates
+  (:func:`~repro.sweep.grid.derive_seed`) — no shared RNG;
+- tasks share no mutable state; the artifact cache is content-addressed
+  and written atomically, so concurrent writers race only toward
+  identical bytes;
+- ``pool.imap_unordered`` is used purely for scheduling; records are
+  re-sorted by task index before return.
+
+Tasks are dispatched largest-first (suite order is ascending nnz, so
+dispatch order is reversed) to keep the pool's makespan short.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import PartitionEngine
+from repro.hypergraph import PartitionConfig
+from repro.simulate.machine import MachineModel
+from repro.simulate.report import PartitionQuality
+from repro.sweep.cache import ArtifactCache
+from repro.sweep.grid import MatrixTask, SweepGrid, derive_seed
+
+__all__ = [
+    "CellRecord",
+    "SweepResult",
+    "map_tasks",
+    "quality_identical",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One evaluated grid cell, self-describing and picklable."""
+
+    matrix: str
+    scale: str | None
+    scheme: str
+    k: int
+    seed: int
+    slot: int
+    machine: MachineModel
+    quality: PartitionQuality
+    from_cache: bool = False
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus per-engine bookkeeping.
+
+    ``engines`` holds one dict per task — matrix name, seed, the
+    engine's :meth:`~repro.engine.PartitionEngine.cache_info` (hits,
+    misses, entries and ``cached_bytes`` for memory-pressure logging)
+    and the worker's artifact-cache stats.
+    """
+
+    records: list[CellRecord]
+    engines: list[dict] = field(default_factory=list)
+
+    def get(
+        self,
+        matrix: str,
+        scheme: str,
+        k: int,
+        *,
+        seed: int | None = None,
+        machine: MachineModel | None = None,
+    ) -> CellRecord:
+        """The unique record at the given grid coordinates."""
+        hits = [
+            r
+            for r in self.records
+            if r.matrix == matrix
+            and r.scheme == scheme
+            and r.k == k
+            and (seed is None or r.seed == seed)
+            and (machine is None or r.machine == machine)
+        ]
+        if len(hits) != 1:
+            raise KeyError(
+                f"{len(hits)} records for ({matrix!r}, {scheme!r}, K={k}); "
+                "pass seed=/machine= to disambiguate"
+            )
+        return hits[0]
+
+    def quality(self, matrix: str, scheme: str, k: int, **kw) -> PartitionQuality:
+        return self.get(matrix, scheme, k, **kw).quality
+
+
+def quality_identical(a: PartitionQuality, b: PartitionQuality) -> bool:
+    """Bitwise equality of two cell results: every tabulated number,
+    the simulated output vector, and the full communication ledger."""
+    return bool(
+        a.kind == b.kind
+        and a.nparts == b.nparts
+        and a.load_imbalance == b.load_imbalance
+        and a.total_volume == b.total_volume
+        and a.avg_msgs == b.avg_msgs
+        and a.max_msgs == b.max_msgs
+        and a.speedup == b.speedup
+        and a.time == b.time
+        and np.array_equal(a.run.y, b.run.y)
+        and a.run.ledger.phase_names == b.run.ledger.phase_names
+        and a.run.ledger.as_dict() == b.run.ledger.as_dict()
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _machine_key(machine: MachineModel) -> tuple:
+    return ("machine", machine.alpha, machine.beta, machine.gamma)
+
+
+def _execute_task(task: MatrixTask, cache_dir) -> tuple[list[CellRecord], dict]:
+    """Run every cell of one task through one engine (worker body)."""
+    t_start = time.perf_counter()
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    engine = PartitionEngine(
+        task.ref.materialize(),
+        seed=task.seed,
+        epsilon=task.epsilon,
+        machine=task.machines[0],
+        artifacts=cache,
+    )
+    digest = engine.matrix_digest
+    records: list[CellRecord] = []
+    for cell in task.cells:
+        machine = task.machines[cell.machine_index]
+        config = PartitionConfig(
+            epsilon=task.epsilon,
+            seed=derive_seed(task.seed, task.matrix_index, cell.slot),
+        )
+        opts = dict(cell.opts)
+        quality = None
+        from_cache = False
+        plan_key = None
+        if cache is not None:
+            # Address the record without building the plan.
+            plan_key = engine.plan_key(cell.scheme, cell.k, config=config, **opts)
+            quality = cache.fetch_record(digest, plan_key, _machine_key(machine))
+            from_cache = quality is not None
+        plan = None
+        if quality is None:
+            plan = engine.plan(cell.scheme, cell.k, config=config, **opts)
+            quality = engine.evaluate(plan, machine=machine)
+            if cache is not None:
+                cache.store_record(digest, plan_key, _machine_key(machine), quality)
+        if task.compile_plans:
+            # Compile even when the record came from the cache: the
+            # plan itself is then a cheap artifact fetch, and the
+            # CommPlan contract holds regardless of record warmth.
+            if plan is None:
+                plan = engine.plan(cell.scheme, cell.k, config=config, **opts)
+            engine.compiled_plan(plan)
+        records.append(
+            CellRecord(
+                matrix=task.name,
+                scale=task.ref.scale,
+                scheme=cell.scheme,
+                k=cell.k,
+                seed=task.seed,
+                slot=cell.slot,
+                machine=machine,
+                quality=quality,
+                from_cache=from_cache,
+            )
+        )
+    info = {
+        "matrix": task.name,
+        "seed": task.seed,
+        "pid": os.getpid(),
+        "task_s": time.perf_counter() - t_start,
+        **engine.cache_info(),
+    }
+    if cache is not None:
+        info["artifacts"] = dict(cache.stats)
+    return records, info
+
+
+def _execute_indexed(args):
+    index, task, cache_dir = args
+    return index, _execute_task(task, cache_dir)
+
+
+def _call_indexed(args):
+    index, fn, item = args
+    return index, fn(item)
+
+
+# ----------------------------------------------------------------------
+# Pool driver
+# ----------------------------------------------------------------------
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None where unsupported
+    (workers then run serially — results are identical either way)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None  # pragma: no cover - non-POSIX platforms
+    return multiprocessing.get_context("fork")
+
+
+def _pool_map(indexed_call, jobs: int, items: list):
+    """Order-restoring parallel map: ``items`` are ``(index, …)``
+    tuples, dispatched as given, reassembled by index."""
+    results: dict[int, object] = {}
+    ctx = _fork_context()
+    if jobs <= 1 or len(items) <= 1 or ctx is None:
+        for item in items:
+            index, value = indexed_call(item)
+            results[index] = value
+    else:
+        with ctx.Pool(processes=min(jobs, len(items))) as pool:
+            for index, value in pool.imap_unordered(indexed_call, items, chunksize=1):
+                results[index] = value
+    return [results[i] for i in sorted(results)]
+
+
+def map_tasks(fn, items, *, jobs: int = 1) -> list:
+    """Generic orchestrator entry point: apply a picklable ``fn`` to
+    every item on the sweep pool, preserving input order.  The property
+    tables and the Figure 1 harness route through this, so every
+    experiment artifact shares one execution layer."""
+    indexed = [(i, fn, item) for i, item in enumerate(items)]
+    return _pool_map(_call_indexed, jobs, indexed)
+
+
+def run_sweep(
+    grid: SweepGrid, *, jobs: int = 1, cache_dir=None
+) -> SweepResult:
+    """Execute a sweep grid; see the module docstring for guarantees.
+
+    ``jobs`` caps the worker processes (1 = in-process serial);
+    ``cache_dir`` enables the persistent artifact cache — cold runs
+    write partitions, compiled plans and cell records through it, warm
+    reruns are pure cache reads.
+    """
+    if cache_dir is not None:
+        ArtifactCache(cache_dir)  # create the root eagerly (fail fast)
+    tasks = grid.tasks()
+    # Largest-first dispatch: suites are ordered by ascending nnz.
+    indexed = [(t.task_index, t, cache_dir) for t in reversed(tasks)]
+    outcomes = _pool_map(_execute_indexed, jobs, indexed)
+    records: list[CellRecord] = []
+    engines: list[dict] = []
+    for task_records, info in outcomes:
+        records.extend(task_records)
+        engines.append(info)
+    return SweepResult(records=records, engines=engines)

@@ -89,6 +89,27 @@ def test_bench_runtime_quick(tmp_path):
     assert result["config"]["quick"] is True
 
 
+def test_bench_sweep_quick(tmp_path):
+    import bench_sweep
+
+    out = tmp_path / "BENCH_sweep.json"
+    result = bench_sweep.run(out, quick=True, cache_dir=tmp_path / "cache")
+    assert out.exists()
+    data = json.loads(out.read_text())
+    assert {"config", "serial_cold_s", "parallel_cold_s", "parallel_warm_s",
+            "engines", "acceptance"} <= set(data)
+    # parallel and warm records bit-identical to serial, warm is a pure
+    # cache-read pass (the quick grid is tiny; speed targets apply to
+    # the full-scale run only)
+    assert data["acceptance"]["identical"] is True
+    assert data["parallel_warm_s"] < data["serial_cold_s"]
+    assert data["peak_cached_bytes"] > 0
+    # the cold pass wrote through the artifact store and read nothing
+    assert sum(e["artifacts"]["stores"] for e in data["engines"]) > 0
+    assert data["acceptance"]["cold_cache_hits"] == 0
+    assert result["config"]["quick"] is True
+
+
 def test_run_all_driver_quick(tmp_path):
     import run_all
 
@@ -98,6 +119,7 @@ def test_run_all_driver_quick(tmp_path):
         "BENCH_partitioner.json",
         "BENCH_simulate.json",
         "BENCH_runtime.json",
+        "BENCH_sweep.json",
     }
     for artifact in results:
         assert (tmp_path / artifact).exists()

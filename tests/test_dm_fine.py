@@ -109,3 +109,16 @@ def test_fine_dm_invariants_random(seed):
     assert total == fdm.coarse.s_rows.size
     _check_block_upper_triangular(rows, cols, fdm)
     assert fdm.square_row_order().size == total
+
+
+def test_fine_dm_golden_pin():
+    """Bit-level pin of one seeded pattern: the vectorized index remap
+    (searchsorted over sorted uniques) and the CSR digraph build must
+    keep the exact block sequence of the original dict/list path."""
+    rng = np.random.default_rng(123)
+    rows = rng.integers(0, 18, 60)
+    cols = rng.integers(0, 18, 60)
+    fdm = fine_dm(rows, cols)
+    assert fdm.nblocks == 3
+    assert fdm.square_row_order().tolist() == [12, 9, 1]
+    assert fdm.square_col_order().tolist() == [16, 8, 1]

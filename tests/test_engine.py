@@ -138,9 +138,13 @@ def test_compare_runs_all_methods(matrix):
 def test_clear_cache(matrix):
     eng = PartitionEngine(matrix, seed=3)
     eng.plan("1d-rowwise", 4)
-    assert eng.cache_info()["entries"] > 0
+    info = eng.cache_info()
+    assert info["entries"] > 0
+    assert info["cached_bytes"] > 0
     eng.clear_cache()
-    assert eng.cache_info() == {"hits": 0, "misses": 0, "entries": 0}
+    assert eng.cache_info() == {
+        "hits": 0, "misses": 0, "entries": 0, "cached_bytes": 0,
+    }
 
 
 def test_register_custom_method(matrix):

@@ -1,0 +1,206 @@
+"""The sweep grid compiler and parallel orchestrator.
+
+Fast tests cover grid compilation (axes, DAG ordering, deterministic
+seed derivation) and serial execution semantics; the slow-marked smoke
+test runs a tiny grid on a two-worker fork pool and asserts parity
+with the serial records — the bit-identity guarantee the table harness
+relies on.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import ExperimentConfig
+from repro.experiments.tables import run_table2
+from repro.simulate.machine import MachineModel
+from repro.sweep import (
+    SchemeSpec,
+    SweepGrid,
+    derive_seed,
+    map_tasks,
+    quality_identical,
+    run_sweep,
+    suite_refs,
+)
+
+
+def _tiny_grid(names=("crystk02", "trdheim"), ks=(2,), **kw):
+    return SweepGrid(
+        matrices=suite_refs("table1", "tiny", names=names),
+        schemes=(
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("s2d-heuristic", slot=0),
+        ),
+        ks=ks,
+        **kw,
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid compilation
+# ----------------------------------------------------------------------
+
+
+def test_grid_axes_and_cell_count():
+    grid = _tiny_grid(ks=(2, 4), seeds=(1, 2), machines=(MachineModel(), MachineModel(alpha=1)))
+    assert grid.ncells == 2 * 2 * 2 * 2 * 2
+    tasks = grid.tasks()
+    assert len(tasks) == 4  # matrices x seeds
+    assert all(len(t.cells) == 8 for t in tasks)  # schemes x ks x machines
+    assert [t.task_index for t in tasks] == [0, 1, 2, 3]
+
+
+def test_grid_dag_orders_base_schemes_first():
+    grid = SweepGrid(
+        matrices=suite_refs("table4", "tiny", names=("boyd2",)),
+        schemes=(
+            SchemeSpec("s2d-bounded", slot=0),
+            SchemeSpec("s2d-heuristic", slot=0),
+            SchemeSpec("1d-rowwise", slot=0),
+        ),
+        ks=(2,),
+    )
+    (task,) = grid.tasks()
+    order = [c.scheme for c in task.cells]
+    assert order.index("1d-rowwise") < order.index("s2d-heuristic")
+    assert order.index("s2d-heuristic") < order.index("s2d-bounded")
+
+
+def test_grid_validation():
+    with pytest.raises(ConfigError):
+        SweepGrid(matrices=(), schemes=(SchemeSpec("1d"),), ks=(2,))
+    with pytest.raises(ConfigError):
+        _tiny_grid(ks=(2,), seeds=())
+    with pytest.raises(ConfigError):
+        SweepGrid(
+            matrices=suite_refs("table1", "tiny"),
+            schemes=(SchemeSpec("no-such-scheme"),),
+            ks=(2,),
+        )
+    with pytest.raises(ConfigError):
+        suite_refs("table9", "tiny")
+    with pytest.raises(ConfigError):
+        suite_refs("table1", "tiny", names=("nope",))
+
+
+def test_scheme_aliases_resolve():
+    grid = _tiny_grid(names=("crystk02",))
+    assert SchemeSpec("s2d").canonical == "s2d-heuristic"
+    (task,) = grid.tasks()
+    assert {c.scheme for c in task.cells} == {"1d-rowwise", "s2d-heuristic"}
+
+
+def test_restricted_grid_matches_full_table_seeds(tmp_path):
+    """A names-restricted grid derives the same per-matrix seeds as the
+    full suite, so its cells reproduce the table rows and share cache
+    artifacts with a full-table run."""
+    full = SweepGrid(
+        matrices=suite_refs("table1", "tiny"),
+        schemes=(SchemeSpec("1d-rowwise"),),
+        ks=(2,),
+    )
+    res_full = run_sweep(full, cache_dir=tmp_path)
+    only = suite_refs("table1", "tiny", names=("trdheim",))
+    assert only[0].seed_index == 2  # trdheim's position in the full suite
+    restricted = SweepGrid(
+        matrices=only, schemes=(SchemeSpec("1d-rowwise"),), ks=(2,)
+    )
+    res = run_sweep(restricted, cache_dir=tmp_path)
+    (rec,) = res.records
+    assert rec.from_cache  # same cache address as the full-table cell
+    assert quality_identical(
+        rec.quality, res_full.quality("trdheim", "1d-rowwise", 2)
+    )
+
+
+def test_derive_seed_is_pure_and_disjoint():
+    assert derive_seed(42, 0, 0) == 42
+    assert derive_seed(42, 3, 2) == 74
+    seen = {derive_seed(42, mi, slot) for mi in range(8) for slot in range(4)}
+    assert len(seen) == 32  # matrices own disjoint seed decades
+
+
+# ----------------------------------------------------------------------
+# Orchestrator semantics (serial)
+# ----------------------------------------------------------------------
+
+
+def test_sweep_records_and_lookup():
+    grid = _tiny_grid()
+    res = run_sweep(grid)
+    assert len(res.records) == grid.ncells
+    rec = res.get("crystk02", "s2d-heuristic", 2)
+    assert rec.quality.nparts == 2
+    assert rec.scale == "tiny"
+    with pytest.raises(KeyError):
+        res.get("crystk02", "s2d-heuristic", 99)
+    # engine bookkeeping: one entry per task, with memory pressure
+    assert len(res.engines) == 2
+    for info in res.engines:
+        assert info["cached_bytes"] > 0
+        assert info["task_s"] > 0
+
+
+def test_sweep_shares_slot_vector_partitions():
+    """s2D cells reuse the 1D hypergraph run of the same slot — the
+    engine-affinity contract the tables rely on."""
+    res = run_sweep(_tiny_grid(names=("crystk02",)))
+    (info,) = res.engines
+    assert info["hits"] > 0  # the s2D build fetched the memoized 1D plan
+
+
+def test_machine_axis_reprices_not_repartitions():
+    cheap = MachineModel(alpha=1.0, beta=1.0, gamma=1.0)
+    dear = MachineModel(alpha=1000.0, beta=3.0, gamma=1.0)
+    grid = _tiny_grid(names=("crystk02",), machines=(cheap, dear))
+    res = run_sweep(grid)
+    q_cheap = res.quality("crystk02", "1d-rowwise", 2, machine=cheap)
+    q_dear = res.quality("crystk02", "1d-rowwise", 2, machine=dear)
+    # same partition and traffic, different pricing
+    assert q_cheap.total_volume == q_dear.total_volume
+    assert q_cheap.time != q_dear.time
+
+
+def test_map_tasks_preserves_order():
+    assert map_tasks(len, ["a", "bb", "ccc"]) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Parallel parity (CI smoke, slow tier)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_parallel_jobs2_parity_with_serial(tmp_path):
+    """Tiny grid on a two-worker fork pool: records (ledgers, cuts,
+    quality numbers) bit-identical to the serial run, cold and warm."""
+    cfg = ExperimentConfig(scale="tiny")
+    serial = run_table2(cfg, ks=(2, 4))
+    parallel = run_table2(cfg, ks=(2, 4), jobs=2, cache_dir=tmp_path)
+    warm = run_table2(cfg, ks=(2, 4), jobs=2, cache_dir=tmp_path)
+    assert serial.text == parallel.text == warm.text
+    for rs, rp, rw in zip(serial.records, parallel.records, warm.records):
+        assert (rs["name"], rs["K"]) == (rp["name"], rp["K"]) == (rw["name"], rw["K"])
+        for scheme in ("1D", "2D", "s2D"):
+            assert quality_identical(rs[scheme], rp[scheme])
+            assert quality_identical(rs[scheme], rw[scheme])
+    # the parallel run really used worker processes
+    import os
+
+    pids = {e["pid"] for e in parallel.meta["engines"]}
+    assert os.getpid() not in pids
+
+
+@pytest.mark.slow
+def test_parallel_multi_seed_axis(tmp_path):
+    grid = _tiny_grid(names=("crystk02",), seeds=(42, 7))
+    serial = run_sweep(grid)
+    parallel = run_sweep(grid, jobs=2, cache_dir=tmp_path)
+    assert len(serial.records) == len(parallel.records) == 4
+    for a, b in zip(serial.records, parallel.records):
+        assert (a.matrix, a.scheme, a.k, a.seed) == (b.matrix, b.scheme, b.k, b.seed)
+        assert quality_identical(a.quality, b.quality)
+    # distinct seeds produce distinct plans under the same coordinates
+    q42 = serial.get("crystk02", "1d-rowwise", 2, seed=42).quality
+    q07 = serial.get("crystk02", "1d-rowwise", 2, seed=7).quality
+    assert not quality_identical(q42, q07)
