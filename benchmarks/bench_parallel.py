@@ -1,0 +1,206 @@
+"""Benchmark: shared-memory parallel SpMV vs single-core baselines.
+
+Times the per-iteration wall-clock of three ways to run the same
+multiply on an R-MAT instance and a ~10k-vertex kNN mesh under a
+communication-heavy cyclic s2D partition at K ∈ {4, 8}:
+
+- the single-core compiled ``plan.apply_y`` (the PR-4 runtime),
+- a raw ``scipy.sparse`` CSR matvec (no partition, no ledger — the
+  absolute single-core floor),
+- the sharded plan on the :class:`~repro.runtime.ParallelExecutor`
+  process pool (one worker per part).
+
+Every entry verifies the parallel ``y`` is *bit-identical* to the
+compiled apply and that the words measured through the shared buffers
+reconcile exactly against the machine-model ledger.
+
+Hosts with fewer cores than K cannot measure a real speedup, so each
+entry records its ``basis`` (the ``BENCH_sweep.json`` convention):
+``"measured"`` when ``host_cpus >= k``, else ``"projected-lpt"`` — the
+per-part per-step wall-clock of a serial shard replay
+(:func:`~repro.runtime.apply_shards_serial`), list-scheduled
+longest-first onto K workers per superstep.  The measured pool time is
+recorded either way.  ``host_cpus`` is in the JSON so a reader can
+judge the basis.  Emits ``BENCH_parallel.json`` at the repo root.
+
+Acceptance: every entry bit-identical and reconciled; on a host with
+``host_cpus >= K`` additionally a ≥ 2× measured per-iteration speedup
+over the compiled apply on the ~10k-vertex mesh at K = 4.  On smaller
+hosts the speedup target does not apply — the contract is the honestly
+recorded projection basis (the projection itself is reported but not
+thresholded, since it includes per-shard overhead a real multi-core
+run would also pay).
+
+Run directly (no pytest machinery needed)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_parallel.json"
+
+SEED = 17
+SPEEDUP_TARGET = 2.0
+ACCEPTANCE_MODEL = "mesh10k"  # the ~10k-vertex suite mesh
+ACCEPTANCE_K = 4
+
+
+def _host_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1  # pragma: no cover - non-POSIX
+
+
+def _per_iter(fn, niters: int, reps: int) -> float:
+    """Best-of-``reps`` mean per-iteration wall-clock of ``fn``."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(niters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / niters)
+    return best
+
+
+def run(out_path: pathlib.Path = DEFAULT_OUT, *, quick: bool = False) -> dict:
+    import numpy as np
+
+    from bench_simulate import _cyclic_s2d, _matrices
+    from bench_sweep import _lpt_makespan
+    from repro.runtime import ParallelExecutor, compile_plan, shard_plan
+    from repro.runtime.parallel import _N_STEPS, apply_shards_serial
+
+    ks = (2, 4) if quick else (4, 8)
+    niters = 5 if quick else 20
+    reps = 2 if quick else 3
+    host_cpus = _host_cpus()
+
+    entries = []
+    for name, a in _matrices(quick):
+        csr = a.tocsr() if hasattr(a, "tocsr") else a
+        for k in ks:
+            p = _cyclic_s2d(a, k, SEED)
+            plan = compile_plan(p)
+            shards = shard_plan(p, plan)
+            ncols = p.matrix.shape[1]
+            x = np.random.default_rng(SEED).standard_normal(ncols)
+
+            apply_s = _per_iter(lambda: plan.apply_y(x), niters, reps)
+            scipy_s = _per_iter(lambda: csr @ x, niters, reps)
+
+            # The pool, measured: bit-identity + ledger reconciliation
+            # are part of the benchmark contract, not just the timing.
+            with ParallelExecutor(plan, shards, jobs=k) as ex:
+                identical = bool(np.array_equal(ex.apply_y(x), plan.apply_y(x)))
+                measured_s = _per_iter(lambda: ex.apply_y(x), niters, reps)
+                recon = ex.reconcile()
+            reconciled = recon["iters"] == 1 + niters * reps
+
+            # LPT projection from a serial shard replay's per-part
+            # per-step wall-clock (what a >= K-core host would overlap).
+            nsteps = _N_STEPS[plan.executor]
+            projected_s = float("inf")
+            for _ in range(reps):
+                timings = np.zeros((k, nsteps))
+                y_serial = apply_shards_serial(plan, shards, x, timings=timings)
+                projected_s = min(
+                    projected_s,
+                    sum(
+                        _lpt_makespan(list(timings[:, s]), k)
+                        for s in range(nsteps)
+                    ),
+                )
+            identical = identical and bool(np.array_equal(y_serial, plan.apply_y(x)))
+
+            basis = "measured" if host_cpus >= k else "projected-lpt"
+            parallel_s = measured_s if basis == "measured" else projected_s
+            entries.append(
+                {
+                    "model": name,
+                    "nnz": int(p.matrix.nnz),
+                    "k": k,
+                    "executor": plan.executor,
+                    "host_cpus": host_cpus,
+                    "basis": basis,
+                    "apply_s": apply_s,
+                    "scipy_csr_s": scipy_s,
+                    "parallel_measured_s": measured_s,
+                    "parallel_projected_s": projected_s,
+                    "parallel_s": parallel_s,
+                    "speedup_vs_apply": apply_s / parallel_s,
+                    "speedup_vs_scipy": scipy_s / parallel_s,
+                    "words_per_iter": recon["total_words_per_iter"],
+                    "identical": identical,
+                    "reconciled": reconciled,
+                }
+            )
+            print(
+                f"{name:10s} K={k:<3d} apply {apply_s * 1e3:8.3f}ms  "
+                f"scipy {scipy_s * 1e3:8.3f}ms  "
+                f"parallel {parallel_s * 1e3:8.3f}ms ({basis})  "
+                f"speedup {apply_s / parallel_s:5.2f}x  "
+                f"identical={'yes' if identical else 'NO'}  "
+                f"reconciled={'yes' if reconciled else 'NO'}"
+            )
+
+    accept = next(
+        (
+            e
+            for e in entries
+            if e["model"] == ACCEPTANCE_MODEL and e["k"] == ACCEPTANCE_K
+        ),
+        entries[-1],
+    )
+    all_good = all(e["identical"] and e["reconciled"] for e in entries)
+    # The 2x target binds only when the host can actually run the
+    # workers side by side; a projected entry's contract is the
+    # recorded basis + host_cpus, not the threshold.
+    target_applies = accept["basis"] == "measured"
+    result = {
+        "config": {
+            "seed": SEED,
+            "quick": quick,
+            "ks": list(ks),
+            "niters": niters,
+            "host_cpus": host_cpus,
+        },
+        "entries": entries,
+        "acceptance": {
+            "model": accept["model"],
+            "k": accept["k"],
+            "basis": accept["basis"],
+            "host_cpus": host_cpus,
+            "speedup": accept["speedup_vs_apply"],
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_target_applies": target_applies,
+            "identical": all_good,
+            "passed": bool(
+                all_good
+                and (
+                    not target_applies
+                    or accept["speedup_vs_apply"] >= SPEEDUP_TARGET
+                )
+            ),
+        },
+    }
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def main() -> int:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    result = run()
+    print(json.dumps(result["acceptance"], indent=2))
+    return 0 if result["acceptance"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ mesh under a communication-heavy cyclic s2D partition at K ∈ {16, 64}:
 - the compile cost and the break-even iteration count
   (``compile_s / (per_call_s − apply_s)``),
 - a batched ``apply_many`` pass over 8 right-hand sides,
+- a raw single-core ``scipy.sparse`` CSR matvec on the same vector
+  (``scipy_csr_s``) — the no-partition floor the compiled apply's
+  gather/scatter overhead is judged against,
 
 verifying on every entry that the compiled apply's ``y`` is
 *bit-identical* to the executor's and the ledgers snapshot identically.
@@ -75,6 +78,7 @@ def run(out_path: pathlib.Path = DEFAULT_OUT, *, quick: bool = False) -> dict:
 
     entries = []
     for name, a in _matrices(quick):
+        csr = a.tocsr()
         for k in ks:
             p = _cyclic_s2d(a, k, SEED)
             pb = make_s2d_bounded(p)
@@ -82,6 +86,13 @@ def run(out_path: pathlib.Path = DEFAULT_OUT, *, quick: bool = False) -> dict:
             rng = np.random.default_rng(SEED)
             x = rng.standard_normal(ncols)
             xs = rng.standard_normal((ncols, NRHS))
+            # Single-core floor: a raw scipy CSR matvec on the same x
+            # (no partition, no ledger) — context for apply_s.
+            t_csr = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                csr @ x
+                t_csr = min(t_csr, time.perf_counter() - t0)
             for ex_name, per_call, routed in executors:
                 pp = pb if routed else p
                 t_compile = t_call = t_apply = t_many = float("inf")
@@ -112,6 +123,7 @@ def run(out_path: pathlib.Path = DEFAULT_OUT, *, quick: bool = False) -> dict:
                         "compile_s": t_compile,
                         "per_call_s": t_call,
                         "apply_s": t_apply,
+                        "scipy_csr_s": t_csr,
                         "apply_many_s": t_many,
                         "apply_many_rhs": NRHS,
                         "speedup": t_call / t_apply,
@@ -122,6 +134,7 @@ def run(out_path: pathlib.Path = DEFAULT_OUT, *, quick: bool = False) -> dict:
                 print(
                     f"{name:10s} K={k:<3d} {ex_name:<7s} "
                     f"per-call {t_call:7.4f}s  apply {t_apply:7.4f}s  "
+                    f"csr {t_csr:7.4f}s  "
                     f"speedup {t_call / t_apply:5.1f}x  "
                     f"compile {t_compile:6.3f}s amortized in {amortize:4.1f} iters  "
                     f"identical={'yes' if same else 'NO'}"

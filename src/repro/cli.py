@@ -12,6 +12,7 @@
     python -m repro.cli simulate --matrix c-big --scheme s2d --k 16 --profile
     python -m repro.cli simulate --matrix trdheim --k 8 --all
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --solver power
+    python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --jobs 0
 
 The ``table`` subcommand regenerates any of the paper's Tables I–VII
 through the sweep orchestrator — ``--jobs N`` fans the per-matrix tasks
@@ -25,7 +26,11 @@ shared intermediates, ``--profile`` adds per-phase wall-clock timings
 and the machine-model cost breakdown); ``solve`` runs an iterative
 solver (power iteration, Jacobi, CG) on the compiled SpMV runtime —
 the partition is compiled once into a reusable communication plan and
-every iteration is a pure array apply.
+every iteration is a pure array apply.  ``solve --jobs N`` multiplies
+on the shared-memory parallel executor instead (``0`` = one worker per
+core); the answer is bit-identical and the bytes actually moved
+through the shared buffers are reconciled against the machine-model
+ledger.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import argparse
 import sys
 
 from repro.engine import ALIASES, PartitionEngine, available_methods
+from repro.errors import UsageError
 from repro.experiments import (
     ExperimentConfig,
     figure1_report,
@@ -98,8 +104,8 @@ def main(argv: list[str] | None = None) -> int:
     p_table.add_argument("--scale", choices=SCALES, default=None)
     p_table.add_argument(
         "--jobs", type=int, default=1,
-        help="sweep worker processes (1 = serial; records are "
-        "bit-identical either way)",
+        help="sweep worker processes (1 = serial, 0 = one per core; "
+        "records are bit-identical either way)",
     )
     p_table.add_argument(
         "--cache-dir", default=None,
@@ -162,9 +168,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_solve.add_argument("--iters", type=int, default=50)
     p_solve.add_argument("--tol", type=float, default=1e-8)
+    p_solve.add_argument(
+        "--jobs", type=int, default=1,
+        help="shared-memory SpMV workers (1 = single-core compiled "
+        "apply, 0 = one per core, N = N workers; the parallel "
+        "executor's y is bit-identical to the compiled path)",
+    )
 
     args = ap.parse_args(argv)
 
+    try:
+        return _dispatch(args)
+    except UsageError as exc:
+        # Malformed command-level input (e.g. --jobs -2): one clean
+        # line on stderr instead of a traceback.
+        print(f"s2d-repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     if args.cmd == "suite":
         suite = table1_suite(args.scale) if args.which == "table1" else table4_suite(args.scale)
         for sm in suite:
@@ -254,19 +276,32 @@ def main(argv: list[str] | None = None) -> int:
         a = read_matrix_market(args.mtx) if args.mtx else _find_matrix(args.matrix, args.scale)
         if a.shape[0] != a.shape[1]:
             raise SystemExit(f"solve needs a square matrix, got {a.shape}")
+        from repro.jobs import resolve_jobs
+
+        jobs = resolve_jobs(args.jobs, what="--jobs")
         eng = _engine(a, cfg)
         plan = eng.plan(args.scheme, args.k, config=cfg.partitioner())
         cplan = eng.compiled_plan(plan)
-        common = dict(iters=args.iters, tol=args.tol, machine=cfg.machine, plan=cplan)
-        if args.solver == "power":
-            res = power_iteration(plan.partition, **common)
-        else:
-            b = np.ones(a.shape[0])
-            fn = jacobi if args.solver == "jacobi" else conjugate_gradient
-            res = fn(plan.partition, b, **common)
+        pool = eng.parallel_executor(plan, jobs=jobs) if jobs != 1 else None
+        common = dict(
+            iters=args.iters, tol=args.tol, machine=cfg.machine,
+            plan=cplan, parallel=pool,
+        )
+        try:
+            if args.solver == "power":
+                res = power_iteration(plan.partition, **common)
+            else:
+                b = np.ones(a.shape[0])
+                fn = jacobi if args.solver == "jacobi" else conjugate_gradient
+                res = fn(plan.partition, b, **common)
+            if pool is not None:
+                recon = pool.reconcile()
+        finally:
+            eng.shutdown()
         print(
             f"scheme={plan.kind} K={plan.partition.nparts} "
             f"solver={args.solver} executor={cplan.executor}"
+            + (f" jobs={pool.jobs}" if pool is not None else "")
         )
         print(
             f"iterations={res.iterations} converged={res.converged} "
@@ -277,6 +312,12 @@ def main(argv: list[str] | None = None) -> int:
             f"sim_time={res.sim_time:.0f}"
         )
         print(f"per-iteration plan: words={cplan.words} msgs={cplan.msgs}")
+        if pool is not None:
+            print(
+                f"parallel: iters={recon['iters']} "
+                f"measured words/iter={recon['total_words_per_iter']} "
+                "(reconciled against the ledger)"
+            )
         return 0
 
     return 1  # pragma: no cover

@@ -31,3 +31,12 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid user-supplied configuration values."""
+
+
+class UsageError(ConfigError):
+    """Raised for malformed command-level inputs (CLI flags, job counts).
+
+    A :class:`ConfigError` specialization the entry points convert into
+    a clean one-line message instead of a traceback — e.g. a negative
+    ``--jobs`` value, which previously surfaced as a pool ``ValueError``.
+    """

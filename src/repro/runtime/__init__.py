@@ -24,9 +24,26 @@ The iterative solvers (:mod:`repro.solvers`), the engine's memoized
 ``compiled_plan`` intermediate and the CLI ``solve`` subcommand all
 run on this layer; compiled plans can be persisted with
 :func:`repro.partition.serialize.save_plan`.
+
+For shared-memory execution, :func:`shard_plan` splits a compiled plan
+into per-part :class:`PartPlan`s and :class:`ParallelExecutor` runs
+them on a persistent process pool (:mod:`repro.runtime.parallel`).
 """
 
-from repro.runtime.compile import compile_plan
-from repro.runtime.plan import CommPlan
+from repro.runtime.compile import compile_plan, shard_plan
+from repro.runtime.parallel import (
+    ParallelExecutor,
+    apply_shards_serial,
+    build_parallel_executor,
+)
+from repro.runtime.plan import CommPlan, PartPlan
 
-__all__ = ["CommPlan", "compile_plan"]
+__all__ = [
+    "CommPlan",
+    "ParallelExecutor",
+    "PartPlan",
+    "apply_shards_serial",
+    "build_parallel_executor",
+    "compile_plan",
+    "shard_plan",
+]

@@ -1,0 +1,607 @@
+"""Shared-memory parallel executor for compiled communication plans.
+
+This is the first code in the repository that *performs* communication
+instead of predicting it: a compiled :class:`~repro.runtime.plan.CommPlan`
+is sharded into K :class:`~repro.runtime.plan.PartPlan`s (see
+:func:`repro.runtime.compile.shard_plan`) and executed by a persistent
+pool of worker processes — one part per worker by default — with the
+input/output vectors and every inter-part message buffer living in
+:mod:`multiprocessing.shared_memory`.
+
+Superstep schedule (B = a full synchronization between steps)::
+
+    single:  [psums; publish x+partials]  B  [recv x; main + fold]
+    two:     [publish x]  B  [recv x; psums; publish partials]  B  [fold]
+    routed:  [psums; hop-1 publish]  B  [recv; combine; hop-2 publish]
+             B  [recv; main + fold]
+
+The barrier is coordinator-mediated over plain semaphores (one ``go``
+token per worker per step, one shared ``done`` ack) because that is
+the only synchronization that survives a SIGKILLed peer — see
+``_worker_main``.
+
+Everything iteration-invariant — index slices, buffer slot assignments,
+group plans, barriers, worker processes, shared segments — is set up
+once; a solver calling :meth:`ParallelExecutor.apply_y` per iteration
+moves only float64 payloads, with zero per-iteration pickling (the
+pool uses the ``fork`` start method and inherits all plan state).
+
+Two invariants are enforced rather than assumed:
+
+- **bit-identity**: the parallel ``y`` equals single-core
+  ``CommPlan.apply_y`` bitwise — workers run the same kernels over the
+  same element order per part, and cross-part combines assemble their
+  inputs in the global key order (see ``_Gather``);
+- **measured == predicted**: every worker counts the words it actually
+  writes into the shared buffers (a per-part row of a shared int64
+  stats array); :meth:`ParallelExecutor.reconcile` checks the measured
+  per-phase traffic against the machine-model ledger exactly.
+
+Failure handling: any worker exception posts a message to a shared
+error block before acking its step; a killed worker simply never acks,
+so the coordinator's bounded wait times out.  Either way the
+coordinator tears the pool down, **unlinks every shared segment**, and
+raises :class:`~repro.errors.SimulationError`
+— no orphaned ``/dev/shm`` entries (a session test fixture asserts
+this for the whole suite).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import weakref
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.jobs import resolve_jobs
+from repro.runtime.plan import CommPlan, PartPlan
+from repro.simulate.common import resolve_x
+from repro.simulate.machine import SpMVRun
+
+__all__ = ["PHASES", "ParallelExecutor", "apply_shards_serial", "build_parallel_executor"]
+
+# Canonical communication phases per execution model, in superstep
+# order.  This — not ``ledger.phase_names`` — defines the stats layout:
+# a phase with zero traffic is absent from the ledger but still owns a
+# (all-zero) stats column.
+PHASES: dict[str, tuple[str, ...]] = {
+    "single": ("expand-and-fold",),
+    "two": ("expand", "fold"),
+    "routed": ("route-row", "route-col"),
+}
+
+_N_STEPS = {"single": 2, "two": 3, "routed": 3}
+
+# Control words (shared int64 block).
+_CMD, _ERR = 0, 1
+_CMD_RUN, _CMD_STOP = 0, 1
+
+_ERRMSG_BYTES = 4096
+_uid = itertools.count()
+
+
+class _PartRunner:
+    """One part's superstep program over (possibly shared) buffers.
+
+    The same class drives both the in-process serial replay
+    (:func:`apply_shards_serial`) and the pool workers — the only
+    difference is whether ``x``/``y``/``buffers``/``stats`` are plain
+    arrays or views over shared memory.  ``x_local`` starts NaN-poisoned
+    so a read of an x entry the part neither owns nor received surfaces
+    as a NaN in ``y`` instead of silently using stale data.
+    """
+
+    def __init__(
+        self,
+        shard: PartPlan,
+        *,
+        ncols: int,
+        buffers: dict[str, np.ndarray],
+        stats_row: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+    ):
+        self.s = shard
+        self.buffers = buffers
+        self.stats = stats_row
+        self.x = x
+        self.y = y
+        self.x_local = np.full(ncols, np.nan)
+        self.psums: np.ndarray | None = None
+        self.csums: np.ndarray | None = None
+        self.phase_col = {ph: i for i, ph in enumerate(PHASES[shard.mode])}
+        self.steps = {
+            "single": (self._single0, self._single1),
+            "two": (self._two0, self._two1, self._two2),
+            "routed": (self._routed0, self._routed1, self._routed2),
+        }[shard.mode]
+
+    def run_step(self, step: int) -> None:
+        self.steps[step]()
+
+    # ------------------------------------------------------------ pieces
+
+    def _fill_own(self) -> None:
+        cols = self.s.x_own_cols
+        self.x_local[cols] = self.x[cols]
+
+    def _precompute(self) -> np.ndarray:
+        s = self.s
+        return s.group1.apply(s.pre_vals * self.x_local[s.pre_cols])
+
+    def _send(self, phase: str, partials: np.ndarray | None) -> None:
+        spec = self.s.sends[phase]
+        buf = self.buffers[phase]
+        if spec.x_slots.size:
+            buf[spec.x_slots] = self.x_local[spec.x_cols]
+        if spec.p_slots.size:
+            buf[spec.p_slots] = partials[spec.p_idx]
+        self.stats[self.phase_col[phase]] += spec.words
+
+    def _recv_x(self, phase: str) -> None:
+        spec = self.s.recvs_x[phase]
+        if spec.slots.size:
+            self.x_local[spec.cols] = self.buffers[phase][spec.slots]
+
+    def _main_y(self) -> np.ndarray:
+        s = self.s
+        return np.bincount(
+            s.main_rows_c,
+            weights=s.main_vals * self.x_local[s.main_cols],
+            minlength=s.nrows_local,
+        )
+
+    def _fold(self, phase: str, partials: np.ndarray) -> np.ndarray:
+        s = self.s
+        w = s.fold_gather.assemble(self.buffers[phase], partials)
+        return np.bincount(s.fold_rows_c, weights=w, minlength=s.nrows_local)
+
+    # ------------------------------------------------------------- single
+
+    def _single0(self) -> None:
+        self._fill_own()
+        self.psums = self._precompute()
+        self._send("expand-and-fold", self.psums)
+
+    def _single1(self) -> None:
+        s = self.s
+        self._recv_x("expand-and-fold")
+        y_c = self._main_y()
+        if s.has_fold:
+            y_c = y_c + self._fold("expand-and-fold", self.psums)
+        self.y[s.own_rows] = y_c
+
+    # ---------------------------------------------------------------- two
+
+    def _two0(self) -> None:
+        self._fill_own()
+        self._send("expand", None)
+
+    def _two1(self) -> None:
+        self._recv_x("expand")
+        self.psums = self._precompute()
+        self._send("fold", self.psums)
+
+    def _two2(self) -> None:
+        s = self.s
+        self.y[s.own_rows] = self._fold("fold", self.psums)
+
+    # ------------------------------------------------------------- routed
+
+    def _routed0(self) -> None:
+        self._fill_own()
+        self.psums = self._precompute()
+        self._send("route-row", self.psums)
+
+    def _routed1(self) -> None:
+        s = self.s
+        self._recv_x("route-row")
+        w = s.comb_gather.assemble(self.buffers["route-row"], self.psums)
+        self.csums = s.group2.apply(w)
+        self._send("route-col", self.csums)
+
+    def _routed2(self) -> None:
+        s = self.s
+        self._recv_x("route-col")
+        y_c = self._main_y()
+        if s.has_fold:
+            y_c = y_c + self._fold("route-col", self.csums)
+        self.y[s.own_rows] = y_c
+
+
+def _buffer_sizes(plan: CommPlan) -> dict[str, int]:
+    """Exact per-phase buffer sizes in words, from the ledger."""
+    return {
+        ph: int(plan.ledger.sent_volume(ph).sum()) for ph in PHASES[plan.executor]
+    }
+
+
+def apply_shards_serial(
+    plan: CommPlan,
+    shards: list[PartPlan],
+    x: np.ndarray | None = None,
+    *,
+    stats: np.ndarray | None = None,
+    timings: np.ndarray | None = None,
+) -> np.ndarray:
+    """Replay the sharded superstep program on one core.
+
+    Runs the exact per-part kernels and buffer traffic of the parallel
+    executor, in superstep order, without processes — the reference for
+    bit-identity tests, the shard-time self-check, and the source of
+    per-part per-step timings for LPT projections on small hosts
+    (``timings``: a (K, nsteps) float64 array accumulated in place;
+    ``stats``: a (K, nphases) int64 array of words written).  Message
+    buffers start NaN-poisoned, so a slot nobody writes poisons ``y``.
+    """
+    x = resolve_x(x, plan.ncols)
+    y = np.zeros(plan.nrows)
+    buffers = {ph: np.full(n, np.nan) for ph, n in _buffer_sizes(plan).items()}
+    if stats is None:
+        stats = np.zeros((plan.nparts, len(PHASES[plan.executor])), dtype=np.int64)
+    runners = [
+        _PartRunner(
+            sh, ncols=plan.ncols, buffers=buffers, stats_row=stats[sh.part], x=x, y=y
+        )
+        for sh in shards
+    ]
+    for step in range(_N_STEPS[plan.executor]):
+        for r in runners:
+            if timings is None:
+                r.run_step(step)
+            else:
+                t0 = time.perf_counter()
+                r.run_step(step)
+                timings[r.s.part, step] += time.perf_counter() - t0
+    return y
+
+
+# ----------------------------------------------------------------------
+# The process-pool executor
+# ----------------------------------------------------------------------
+
+
+def _post_error(ctl: np.ndarray, err: np.ndarray, exc: BaseException) -> None:
+    msg = f"{type(exc).__name__}: {exc}".encode("utf-8", "replace")[: _ERRMSG_BYTES - 8]
+    err[8 : 8 + len(msg)] = np.frombuffer(msg, dtype=np.uint8)
+    err[:8].view(np.int64)[0] = len(msg)
+    ctl[_ERR] = 1
+
+
+def _read_error(err: np.ndarray) -> str:
+    n = int(err[:8].view(np.int64)[0])
+    return bytes(err[8 : 8 + n]).decode("utf-8", "replace")
+
+
+def _segment_views(plan: CommPlan, segments: dict) -> dict[str, np.ndarray]:
+    """Typed numpy views over the executor's shared segments."""
+    views = {
+        "x": np.frombuffer(segments["x"].buf, dtype=np.float64)[: plan.ncols],
+        "y": np.frombuffer(segments["y"].buf, dtype=np.float64)[: plan.nrows],
+        "ctl": np.frombuffer(segments["ctl"].buf, dtype=np.int64)[:4],
+        "err": np.frombuffer(segments["err"].buf, dtype=np.uint8)[:_ERRMSG_BYTES],
+    }
+    nph = len(PHASES[plan.executor])
+    views["stats"] = np.frombuffer(segments["stats"].buf, dtype=np.int64)[
+        : plan.nparts * nph
+    ].reshape(plan.nparts, nph)
+    for ph, n in _buffer_sizes(plan).items():
+        views[f"buf-{ph}"] = np.frombuffer(
+            segments[f"buf-{ph}"].buf, dtype=np.float64
+        )[:n]
+    return views
+
+
+def _worker_main(wid, jobs, plan, shards, segments, go, done) -> None:
+    """A pool worker: one semaphore token in, one superstep out.
+
+    Runs in a forked child; *all* numpy views over the shared segments
+    are built here, post-fork, so the parent never exports pointers on
+    behalf of the workers.  Synchronization is coordinator-mediated:
+    the worker blocks on its private ``go`` semaphore, runs exactly one
+    superstep for each token, and acks on the shared ``done`` semaphore.
+    Semaphores are the only primitive that survives a SIGKILLed peer —
+    ``multiprocessing`` barriers/conditions block *inside notify* (with
+    no timeout, holding the condition lock) waiting for dead sleepers
+    to ack, so a killed worker would deadlock the whole pool.  Any
+    exception is posted to the shared error block before the ``done``
+    ack, so the coordinator sees it at the step boundary.  The worker
+    leaves via ``os._exit``, skipping interpreter teardown — segment
+    unlinking is the coordinator's job alone.
+    """
+    try:
+        views = _segment_views(plan, segments)
+        ctl, err = views["ctl"], views["err"]
+        buffers = {ph: views[f"buf-{ph}"] for ph in PHASES[plan.executor]}
+        runners = [
+            _PartRunner(
+                sh,
+                ncols=plan.ncols,
+                buffers=buffers,
+                stats_row=views["stats"][sh.part],
+                x=views["x"],
+                y=views["y"],
+            )
+            for sh in shards[wid::jobs]
+        ]
+        nsteps = _N_STEPS[plan.executor]
+        step = 0
+        while True:
+            go.acquire()
+            if ctl[_CMD] == _CMD_STOP:
+                break
+            try:
+                for r in runners:
+                    r.run_step(step)
+            except BaseException as exc:
+                _post_error(ctl, err, exc)
+                done.release()
+                break
+            step = (step + 1) % nsteps
+            done.release()
+    except BaseException:  # pragma: no cover - defensive: die silently
+        pass
+    finally:
+        os._exit(0)
+
+
+def _reap(procs, segments) -> None:
+    """Last-resort teardown (also the ``weakref.finalize`` target):
+    stop the workers, unlink every segment."""
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(timeout=2.0)
+        if p.is_alive():  # pragma: no cover - terminate() sufficed so far
+            p.kill()
+            p.join(timeout=1.0)
+    for shm in segments:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still exported
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ParallelExecutor:
+    """Persistent worker pool applying one compiled plan repeatedly.
+
+    Parameters
+    ----------
+    plan, shards:
+        A compiled plan and its :func:`~repro.runtime.compile.shard_plan`
+        output.
+    jobs:
+        Worker count (:func:`repro.jobs.resolve_jobs` convention;
+        default one worker per part, capped at K).  With fewer workers
+        than parts, parts are dealt round-robin and each worker runs
+        its parts back-to-back within every superstep.
+    timeout:
+        Seconds the coordinator waits for each superstep ack before it
+        declares the pool dead.  Keep it above the slowest single
+        superstep's compute time.
+
+    Use as a context manager or call :meth:`close`; a dropped executor
+    is reaped by a ``weakref.finalize`` hook.  After any failure the
+    executor is closed: segments are unlinked and further applies
+    raise :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(
+        self,
+        plan: CommPlan,
+        shards: list[PartPlan],
+        *,
+        jobs: int | None = None,
+        timeout: float = 60.0,
+    ):
+        if len(shards) != plan.nparts:
+            raise SimulationError(
+                f"got {len(shards)} shards for a {plan.nparts}-part plan"
+            )
+        ctx = get_context("fork")
+        self.plan = plan
+        self.nparts = plan.nparts
+        self.jobs = min(resolve_jobs(jobs, default=plan.nparts), plan.nparts)
+        self.timeout = float(timeout)
+        self.niters = 0
+        self._closed = False
+        self._broken = False
+        self.phases = PHASES[plan.executor]
+
+        tag = f"s2d-par-{os.getpid()}-{next(_uid)}"
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+        def seg(name: str, nbytes: int) -> shared_memory.SharedMemory:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(int(nbytes), 8), name=f"{tag}-{name}"
+            )
+            self._segments[name] = shm
+            return shm
+
+        seg("x", plan.ncols * 8)
+        seg("y", plan.nrows * 8)
+        seg("stats", plan.nparts * len(self.phases) * 8)
+        seg("ctl", 4 * 8)
+        seg("err", _ERRMSG_BYTES)
+        for ph, n in _buffer_sizes(plan).items():
+            seg(f"buf-{ph}", n * 8)
+        views = _segment_views(plan, self._segments)
+        self._x, self._y = views["x"], views["y"]
+        self._stats, self._ctl, self._err = views["stats"], views["ctl"], views["err"]
+        self._stats[:] = 0
+        self._ctl[:] = 0
+
+        # Coordinator-mediated superstep gates: one private ``go``
+        # semaphore per worker (no worker can steal a sibling's step
+        # token) and one shared ``done`` ack.  See ``_worker_main`` for
+        # why these must be semaphores and not barriers.
+        self._go = [ctx.Semaphore(0) for _ in range(self.jobs)]
+        self._done = ctx.Semaphore(0)
+        self._nsteps = _N_STEPS[plan.executor]
+        self._procs = []
+        for w in range(self.jobs):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(
+                    w,
+                    self.jobs,
+                    plan,
+                    shards,
+                    self._segments,
+                    self._go[w],
+                    self._done,
+                ),
+                daemon=True,
+                name=f"{tag}-w{w}",
+            )
+            p.start()
+            self._procs.append(p)
+        self._finalizer = weakref.finalize(
+            self, _reap, self._procs, list(self._segments.values())
+        )
+
+    # ------------------------------------------------------------- apply
+
+    def apply_y(self, x: np.ndarray | None = None) -> np.ndarray:
+        """``A @ x`` through the worker pool — bit-identical to the
+        single-core ``plan.apply_y``."""
+        if self._closed:
+            raise SimulationError(
+                "parallel executor is closed"
+                + (" (a worker failed)" if self._broken else "")
+            )
+        self._x[:] = resolve_x(x, self.plan.ncols)
+        for _ in range(self._nsteps):
+            for g in self._go:
+                g.release()
+            for _ in range(self.jobs):
+                if not self._done.acquire(timeout=self.timeout):
+                    self._fail()
+            if self._ctl[_ERR]:
+                self._fail()
+        self.niters += 1
+        return self._y.copy()
+
+    def apply(self, x: np.ndarray | None = None) -> SpMVRun:
+        """One multiply as a :class:`~repro.simulate.machine.SpMVRun`,
+        sharing the plan's frozen ledger/phases (see ``CommPlan.apply``)."""
+        plan = self.plan
+        return SpMVRun(
+            y=self.apply_y(x),
+            ledger=plan.ledger,
+            phases=plan.phases,
+            nnz=plan.nnz,
+            kind=plan.kind,
+            meta=plan.meta,
+        )
+
+    # ----------------------------------------------------- reconciliation
+
+    def measured_words(self) -> np.ndarray:
+        """Words each part wrote into each phase buffer, accumulated
+        over all applies: int64 of shape (K, nphases) in
+        ``self.phases`` column order."""
+        if self._closed:
+            raise SimulationError("parallel executor is closed")
+        return self._stats.copy()
+
+    def reconcile(self) -> dict:
+        """Check measured buffer traffic against the machine-model ledger.
+
+        Every part must have written exactly ``niters`` times its
+        ledger-predicted word count into every phase buffer; raises
+        :class:`~repro.errors.SimulationError` otherwise.  Returns a
+        summary dict (per-phase words and bytes per iteration).
+        """
+        measured = self.measured_words()
+        predicted = np.stack(
+            [self.plan.ledger.sent_volume(ph) for ph in self.phases], axis=1
+        )
+        if not np.array_equal(measured, predicted * self.niters):
+            raise SimulationError(
+                "measured buffer traffic disagrees with the ledger: "
+                f"measured {measured.sum(axis=0).tolist()} words over "
+                f"{self.niters} iters, predicted "
+                f"{predicted.sum(axis=0).tolist()} words/iter"
+            )
+        per_phase = {ph: int(predicted[:, i].sum()) for i, ph in enumerate(self.phases)}
+        return {
+            "iters": self.niters,
+            "words_per_iter": per_phase,
+            "bytes_per_iter": {ph: w * 8 for ph, w in per_phase.items()},
+            "total_words_per_iter": int(predicted.sum()),
+        }
+
+    # ---------------------------------------------------------- lifecycle
+
+    def _fail(self) -> None:
+        msg = (
+            _read_error(self._err)
+            if self._ctl[_ERR]
+            else "a worker died or a superstep timed out"
+        )
+        self._broken = True
+        self.close()
+        raise SimulationError(f"parallel executor failed: {msg}")
+
+    def close(self) -> None:
+        """Stop the pool and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._broken:
+            # Graceful: wake the pool with a stop command.
+            self._ctl[_CMD] = _CMD_STOP
+            for g in self._go:
+                g.release()
+            for p in self._procs:
+                p.join(timeout=2.0)
+        # Views must drop their buffer exports before the segments close.
+        self._x = self._y = self._stats = self._ctl = self._err = None
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "live"
+        return (
+            f"ParallelExecutor(K={self.nparts}, jobs={self.jobs}, "
+            f"mode={self.plan.executor!r}, {state})"
+        )
+
+
+def build_parallel_executor(
+    p,
+    plan: CommPlan | None = None,
+    *,
+    jobs: int | None = None,
+    timeout: float = 60.0,
+) -> ParallelExecutor:
+    """Compile, shard and spin up a pool for partition ``p`` in one call.
+
+    ``plan`` may be passed to reuse an already-compiled plan (the
+    engine's memoized path); otherwise one is compiled here.
+    """
+    from repro.runtime.compile import compile_plan, shard_plan
+
+    if plan is None:
+        plan = compile_plan(p)
+    shards = shard_plan(p, plan)
+    return ParallelExecutor(plan, shards, jobs=jobs, timeout=timeout)

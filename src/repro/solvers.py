@@ -51,6 +51,14 @@ class _SpMVEngine:
     The communication profile of a plan is static, so the per-iteration
     words/messages/time are computed once at set-up and each multiply
     is a pure compiled apply.
+
+    ``executor`` selects the multiply backend: ``"compiled"`` is the
+    single-core :meth:`~repro.runtime.CommPlan.apply_y`; ``"parallel"``
+    runs the sharded plan on a shared-memory worker pool
+    (:class:`~repro.runtime.ParallelExecutor`, bit-identical output).
+    A caller-owned pool can be passed via ``parallel`` (the engine's
+    memoized path); otherwise a pool is built here and :meth:`close`
+    shuts it down.
     """
 
     def __init__(
@@ -58,6 +66,10 @@ class _SpMVEngine:
         p: SpMVPartition,
         machine: MachineModel,
         plan: CommPlan | None = None,
+        *,
+        executor: str = "compiled",
+        jobs: int | None = None,
+        parallel=None,
     ):
         m, n = p.matrix.shape
         if m != n:
@@ -78,6 +90,30 @@ class _SpMVEngine:
                 f"nnz {self.plan.nnz}, K={self.plan.nparts} does not match the "
                 f"partition's ({m}, {n}), nnz {p.matrix.nnz}, K={p.nparts}"
             )
+        if executor not in ("compiled", "parallel"):
+            raise ConfigError(
+                f"unknown solver executor {executor!r}; "
+                "expected 'compiled' or 'parallel'"
+            )
+        self._pool = None
+        self._owns_pool = False
+        if parallel is not None:
+            if parallel.plan is not self.plan and (
+                parallel.plan.nrows,
+                parallel.plan.ncols,
+                parallel.plan.nnz,
+                parallel.plan.nparts,
+            ) != (self.plan.nrows, self.plan.ncols, self.plan.nnz, self.plan.nparts):
+                raise SimulationError(
+                    "the supplied parallel executor was built for a different plan"
+                )
+            self._pool = parallel
+        elif executor == "parallel":
+            from repro.runtime import build_parallel_executor
+
+            self._pool = build_parallel_executor(p, self.plan, jobs=jobs)
+            self._owns_pool = True
+        self._apply = self.plan.apply_y if self._pool is None else self._pool.apply_y
         self.words = 0
         self.msgs = 0
         self.time = 0.0
@@ -87,11 +123,16 @@ class _SpMVEngine:
         self._iter_time = self.plan.time(machine)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        y = self.plan.apply_y(x)
+        y = self._apply(x)
         self.words += self._iter_words
         self.msgs += self._iter_msgs
         self.time += self._iter_time
         return y
+
+    def close(self) -> None:
+        """Release a pool this engine built (caller-owned pools stay up)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
 
     def reduction_cost(self) -> None:
         """One global dot/norm: local work + an allreduce."""
@@ -107,6 +148,9 @@ def power_iteration(
     machine: MachineModel | None = None,
     x0: np.ndarray | None = None,
     plan: CommPlan | None = None,
+    executor: str = "compiled",
+    jobs: int | None = None,
+    parallel=None,
 ) -> SolveResult:
     """Dominant eigenvalue estimate by repeated distributed SpMV.
 
@@ -114,11 +158,16 @@ def power_iteration(
     the last absolute eigenvalue change (after a single iteration, the
     distance from the zero initial estimate — always finite).  Pass a
     precompiled ``plan`` to skip compilation (e.g. the engine's
-    memoized ``compiled_plan``).
+    memoized ``compiled_plan``).  ``executor="parallel"`` multiplies on
+    a shared-memory worker pool (``jobs`` workers, bit-identical to the
+    compiled path); pass ``parallel`` to reuse a persistent
+    :class:`~repro.runtime.ParallelExecutor` across solves.
     """
     if iters < 1:
         raise ConfigError(f"power_iteration needs iters >= 1, got {iters}")
-    eng = _SpMVEngine(p, machine or MachineModel(), plan)
+    eng = _SpMVEngine(
+        p, machine or MachineModel(), plan, executor=executor, jobs=jobs, parallel=parallel
+    )
     n = eng.n
     x = (np.ones(n) if x0 is None else np.asarray(x0, dtype=np.float64)).copy()
     x /= np.linalg.norm(x)
@@ -126,20 +175,23 @@ def power_iteration(
     history: list[float] = []
     converged = False
     it = 0
-    for it in range(1, iters + 1):
-        y = eng.matvec(x)
-        lam = float(x @ y)
-        eng.reduction_cost()
-        nrm = np.linalg.norm(y)
-        eng.reduction_cost()
-        if nrm == 0:
-            raise SimulationError("power iteration hit the zero vector")
-        x = y / nrm
-        history.append(lam)
-        if it > 1 and abs(lam - lam_old) <= tol * max(abs(lam), 1.0):
-            converged = True
-            break
-        lam_old = lam
+    try:
+        for it in range(1, iters + 1):
+            y = eng.matvec(x)
+            lam = float(x @ y)
+            eng.reduction_cost()
+            nrm = np.linalg.norm(y)
+            eng.reduction_cost()
+            if nrm == 0:
+                raise SimulationError("power iteration hit the zero vector")
+            x = y / nrm
+            history.append(lam)
+            if it > 1 and abs(lam - lam_old) <= tol * max(abs(lam), 1.0):
+                converged = True
+                break
+            lam_old = lam
+    finally:
+        eng.close()
     return SolveResult(
         x=x,
         iterations=it,
@@ -161,11 +213,16 @@ def jacobi(
     tol: float = 1e-10,
     machine: MachineModel | None = None,
     plan: CommPlan | None = None,
+    executor: str = "compiled",
+    jobs: int | None = None,
+    parallel=None,
 ) -> SolveResult:
     """Jacobi iteration ``z ← D⁻¹(b − (A−D) z)`` for diagonally dominant A."""
     if iters < 1:
         raise ConfigError(f"jacobi needs iters >= 1, got {iters}")
-    eng = _SpMVEngine(p, machine or MachineModel(), plan)
+    eng = _SpMVEngine(
+        p, machine or MachineModel(), plan, executor=executor, jobs=jobs, parallel=parallel
+    )
     a = p.matrix
     d = np.asarray(a.diagonal(), dtype=np.float64)
     if np.any(d == 0):
@@ -176,16 +233,19 @@ def jacobi(
     history: list[float] = []
     converged = False
     it = 0
-    for it in range(1, iters + 1):
-        az = eng.matvec(z)
-        r = b - az
-        res = float(np.linalg.norm(r)) / bnorm
-        eng.reduction_cost()
-        history.append(res)
-        if res <= tol:
-            converged = True
-            break
-        z = z + r / d
+    try:
+        for it in range(1, iters + 1):
+            az = eng.matvec(z)
+            r = b - az
+            res = float(np.linalg.norm(r)) / bnorm
+            eng.reduction_cost()
+            history.append(res)
+            if res <= tol:
+                converged = True
+                break
+            z = z + r / d
+    finally:
+        eng.close()
     return SolveResult(
         x=z,
         iterations=it,
@@ -205,11 +265,16 @@ def conjugate_gradient(
     tol: float = 1e-10,
     machine: MachineModel | None = None,
     plan: CommPlan | None = None,
+    executor: str = "compiled",
+    jobs: int | None = None,
+    parallel=None,
 ) -> SolveResult:
     """CG for symmetric positive definite ``A`` (values must be SPD)."""
     if iters < 1:
         raise ConfigError(f"conjugate_gradient needs iters >= 1, got {iters}")
-    eng = _SpMVEngine(p, machine or MachineModel(), plan)
+    eng = _SpMVEngine(
+        p, machine or MachineModel(), plan, executor=executor, jobs=jobs, parallel=parallel
+    )
     b = np.asarray(b, dtype=np.float64)
     z = np.zeros_like(b)
     r = b.copy()
@@ -220,24 +285,27 @@ def conjugate_gradient(
     history: list[float] = []
     converged = False
     it = 0
-    for it in range(1, iters + 1):
-        ad = eng.matvec(d)
-        dad = float(d @ ad)
-        eng.reduction_cost()
-        if dad <= 0:
-            raise SimulationError("matrix is not positive definite along d")
-        alpha = rs / dad
-        z = z + alpha * d
-        r = r - alpha * ad
-        rs_new = float(r @ r)
-        eng.reduction_cost()
-        res = float(np.sqrt(rs_new)) / bnorm
-        history.append(res)
-        if res <= tol:
-            converged = True
-            break
-        d = r + (rs_new / rs) * d
-        rs = rs_new
+    try:
+        for it in range(1, iters + 1):
+            ad = eng.matvec(d)
+            dad = float(d @ ad)
+            eng.reduction_cost()
+            if dad <= 0:
+                raise SimulationError("matrix is not positive definite along d")
+            alpha = rs / dad
+            z = z + alpha * d
+            r = r - alpha * ad
+            rs_new = float(r @ r)
+            eng.reduction_cost()
+            res = float(np.sqrt(rs_new)) / bnorm
+            history.append(res)
+            if res <= tol:
+                converged = True
+                break
+            d = r + (rs_new / rs) * d
+            rs = rs_new
+    finally:
+        eng.close()
     return SolveResult(
         x=z,
         iterations=it,

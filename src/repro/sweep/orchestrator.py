@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.engine import PartitionEngine
 from repro.hypergraph import PartitionConfig
+from repro.jobs import resolve_jobs
 from repro.simulate.machine import MachineModel
 from repro.simulate.report import PartitionQuality
 from repro.sweep.cache import ArtifactCache
@@ -243,7 +244,11 @@ def map_tasks(fn, items, *, jobs: int = 1) -> list:
     """Generic orchestrator entry point: apply a picklable ``fn`` to
     every item on the sweep pool, preserving input order.  The property
     tables and the Figure 1 harness route through this, so every
-    experiment artifact shares one execution layer."""
+    experiment artifact shares one execution layer.
+
+    ``jobs=0`` means one worker per core; negative values raise
+    :class:`~repro.errors.UsageError`."""
+    jobs = resolve_jobs(jobs, what="jobs")
     indexed = [(i, fn, item) for i, item in enumerate(items)]
     return _pool_map(_call_indexed, jobs, indexed)
 
@@ -253,11 +258,13 @@ def run_sweep(
 ) -> SweepResult:
     """Execute a sweep grid; see the module docstring for guarantees.
 
-    ``jobs`` caps the worker processes (1 = in-process serial);
+    ``jobs`` caps the worker processes (1 = in-process serial, 0 = one
+    per core; negative raises :class:`~repro.errors.UsageError`);
     ``cache_dir`` enables the persistent artifact cache — cold runs
     write partitions, compiled plans and cell records through it, warm
     reruns are pure cache reads.
     """
+    jobs = resolve_jobs(jobs, what="jobs")
     if cache_dir is not None:
         ArtifactCache(cache_dir)  # create the root eagerly (fail fast)
     tasks = grid.tasks()
