@@ -13,6 +13,8 @@
     python -m repro.cli simulate --matrix trdheim --k 8 --all
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --solver power
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --jobs 0
+    python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --backend native
+    python -m repro.cli native-info
 
 The ``table`` subcommand regenerates any of the paper's Tables I–VII
 through the sweep orchestrator — ``--jobs N`` fans the per-matrix tasks
@@ -30,7 +32,9 @@ every iteration is a pure array apply.  ``solve --jobs N`` multiplies
 on the shared-memory parallel executor instead (``0`` = one worker per
 core); the answer is bit-identical and the bytes actually moved
 through the shared buffers are reconciled against the machine-model
-ledger.
+ledger.  ``--backend {auto,numpy,native}`` (on ``solve`` and ``table``)
+selects the numeric kernels; ``native-info`` reports whether the
+native C kernel backend is available and where its build cache lives.
 """
 
 from __future__ import annotations
@@ -39,7 +43,8 @@ import argparse
 import sys
 
 from repro.engine import ALIASES, PartitionEngine, available_methods
-from repro.errors import UsageError
+from repro.errors import ConfigError, UsageError
+from repro.native import BACKENDS
 from repro.experiments import (
     ExperimentConfig,
     figure1_report,
@@ -82,6 +87,17 @@ def _engine(a, cfg: ExperimentConfig) -> PartitionEngine:
     return PartitionEngine(a, seed=cfg.seed, machine=cfg.machine)
 
 
+def _resolve_backend_or_exit(backend: str) -> str:
+    """Resolve ``--backend`` early so an unavailable explicit native
+    fails with one clean line instead of a deep traceback."""
+    from repro.native import resolve_backend
+
+    try:
+        return resolve_backend(backend)
+    except ConfigError as exc:
+        raise SystemExit(f"s2d-repro: error: {exc}") from exc
+
+
 def _quality_line(kind: str, q) -> str:
     """The one-line quality summary shared by `partition` and `simulate`."""
     return (
@@ -112,8 +128,18 @@ def main(argv: list[str] | None = None) -> int:
         help="persistent artifact cache directory; a warm rerun of the "
         "same table is pure cache reads",
     )
+    p_table.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="numeric kernel backend for any compiled applies "
+        "(auto = native where a C compiler is available)",
+    )
 
     sub.add_parser("figure1", help="print the Figure 1 worked example")
+
+    sub.add_parser(
+        "native-info",
+        help="report the native C kernel backend: compiler, cache, status",
+    )
 
     p_spy = sub.add_parser("spy", help="ASCII spy plot of a partitioned matrix")
     p_spy.add_argument("--matrix", required=True, help="suite matrix name")
@@ -174,6 +200,12 @@ def main(argv: list[str] | None = None) -> int:
         "apply, 0 = one per core, N = N workers; the parallel "
         "executor's y is bit-identical to the compiled path)",
     )
+    p_solve.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="numeric kernel backend: numpy, native (fused C loops; "
+        "errors if no C compiler), or auto (native where available, "
+        "bit-identical either way)",
+    )
 
     args = ap.parse_args(argv)
 
@@ -194,6 +226,12 @@ def _dispatch(args) -> int:
         return 0
 
     if args.cmd == "table":
+        from repro.native import set_default_backend
+
+        # Tables reach compiled applies through many layers; setting the
+        # process default covers them all without threading the kwarg.
+        set_default_backend(args.backend)
+        _resolve_backend_or_exit(args.backend)
         cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
         print(
             _TABLES[args.id](
@@ -204,6 +242,20 @@ def _dispatch(args) -> int:
 
     if args.cmd == "figure1":
         print(figure1_report())
+        return 0
+
+    if args.cmd == "native-info":
+        from repro.native import native_status
+
+        status = native_status()
+        print(f"available={status['available']}")
+        print(f"compiler={status['compiler'] or '(none found)'}")
+        print(f"cache_dir={status['cache_dir']}")
+        print(f"so_path={status['so_path'] or '(not built)'}")
+        print(f"built_this_process={status['built_this_process']}")
+        print(f"default_backend={status['default_backend']}")
+        if status["reason"]:
+            print(f"reason={status['reason']}")
         return 0
 
     if args.cmd == "spy":
@@ -279,13 +331,18 @@ def _dispatch(args) -> int:
         from repro.jobs import resolve_jobs
 
         jobs = resolve_jobs(args.jobs, what="--jobs")
+        backend = _resolve_backend_or_exit(args.backend)
         eng = _engine(a, cfg)
         plan = eng.plan(args.scheme, args.k, config=cfg.partitioner())
         cplan = eng.compiled_plan(plan)
-        pool = eng.parallel_executor(plan, jobs=jobs) if jobs != 1 else None
+        pool = (
+            eng.parallel_executor(plan, jobs=jobs, backend=backend)
+            if jobs != 1
+            else None
+        )
         common = dict(
             iters=args.iters, tol=args.tol, machine=cfg.machine,
-            plan=cplan, parallel=pool,
+            plan=cplan, parallel=pool, backend=backend,
         )
         try:
             if args.solver == "power":
@@ -300,7 +357,8 @@ def _dispatch(args) -> int:
             eng.shutdown()
         print(
             f"scheme={plan.kind} K={plan.partition.nparts} "
-            f"solver={args.solver} executor={cplan.executor}"
+            f"solver={args.solver} executor={cplan.executor} "
+            f"backend={backend}"
             + (f" jobs={pool.jobs}" if pool is not None else "")
         )
         print(

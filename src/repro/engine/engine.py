@@ -126,6 +126,10 @@ class PartitionEngine:
         :meth:`plan` / :meth:`compiled_plan` consult the store before
         building — a warm process reconstructs a table's plans from
         pure cache reads.
+    backend:
+        Default kernel backend (``"auto"``/``"numpy"``/``"native"``)
+        for executors built through this engine; ``None`` defers to the
+        process-wide policy (see :func:`repro.native.resolve_backend`).
     """
 
     def __init__(
@@ -137,6 +141,7 @@ class PartitionEngine:
         machine: MachineModel | None = None,
         cache: bool = True,
         artifacts=None,
+        backend: str | None = None,
     ) -> None:
         self._matrix = canonical_coo(a)
         self.seed = seed
@@ -144,6 +149,7 @@ class PartitionEngine:
         self.machine = machine or MachineModel()
         self.cache_enabled = bool(cache)
         self.artifacts = artifacts
+        self.backend = backend
         self._store: dict = {}
         self._matrix_digest: str | None = None
         self.cache_stats = {"hits": 0, "misses": 0}
@@ -405,19 +411,35 @@ class PartitionEngine:
         return self._memo(key, lambda: shard_plan(plan.partition, cplan))
 
     def parallel_executor(
-        self, plan: Plan, *, jobs: int | None = None, timeout: float = 60.0
+        self,
+        plan: Plan,
+        *,
+        jobs: int | None = None,
+        timeout: float = 60.0,
+        backend: str | None = None,
     ) -> ParallelExecutor:
         """Memoized shared-memory worker pool for ``plan``'s SpMV.
 
         One persistent :class:`~repro.runtime.ParallelExecutor` per
-        (plan, jobs): repeated solves against the same plan reuse the
-        live pool and its shared segments.  A pool that has been closed
-        (or broke) is evicted and rebuilt transparently.  Pools are
-        process-backed, so call :meth:`shutdown` (or
-        :meth:`clear_cache`) when done; executors also self-reap at
-        garbage collection.
+        (plan, jobs, resolved backend): repeated solves against the same
+        plan reuse the live pool and its shared segments.  ``backend``
+        defaults to the engine-level setting; it is resolved to a
+        concrete ``"numpy"``/``"native"`` *before* keying, so an
+        ``"auto"`` request and the explicit backend it resolves to share
+        one pool.  A pool that has been closed (or broke) is evicted and
+        rebuilt transparently.  Pools are process-backed, so call
+        :meth:`shutdown` (or :meth:`clear_cache`) when done; executors
+        also self-reap at garbage collection.
         """
-        key = ("parallel-exec", plan.key, None if jobs is None else int(jobs))
+        from repro.native import resolve_backend
+
+        resolved = resolve_backend(self.backend if backend is None else backend)
+        key = (
+            "parallel-exec",
+            plan.key,
+            None if jobs is None else int(jobs),
+            resolved,
+        )
         cached = self._store.get(key)
         if cached is not None and cached.closed:
             del self._store[key]
@@ -425,7 +447,9 @@ class PartitionEngine:
         def build() -> ParallelExecutor:
             cplan = self.compiled_plan(plan)
             shards = self.plan_shards(plan)
-            ex = ParallelExecutor(cplan, shards, jobs=jobs, timeout=timeout)
+            ex = ParallelExecutor(
+                cplan, shards, jobs=jobs, timeout=timeout, backend=resolved
+            )
             self._executors.append(ex)
             return ex
 

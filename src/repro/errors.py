@@ -33,6 +33,17 @@ class ConfigError(ReproError):
     """Raised for invalid user-supplied configuration values."""
 
 
+class NativeBuildError(ReproError):
+    """Raised when the native C kernel backend cannot be built or loaded.
+
+    Carries the reason (no compiler on PATH, compile failure, corrupt
+    cached library).  ``backend="auto"`` callers never see it — the
+    dispatcher records the reason and falls back to the NumPy kernels —
+    but an explicit ``backend="native"`` request surfaces it as a
+    :class:`ConfigError`-style hard failure.
+    """
+
+
 class UsageError(ConfigError):
     """Raised for malformed command-level inputs (CLI flags, job counts).
 

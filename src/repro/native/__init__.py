@@ -1,0 +1,54 @@
+"""Native C kernel backend for the compiled SpMV runtime.
+
+The compiled :class:`~repro.runtime.CommPlan` reduced every multiply
+to a handful of NumPy gathers and scatter-sums, but each of those is
+still a multi-pass, temporary-allocating operation; on the bench
+matrices ``plan.apply`` sat ~5–6× above the raw single-core scipy CSR
+floor.  This package closes most of that gap with four tiny C loops
+(``kernels.c``) that fuse gather → multiply → group-sum scatter into
+single passes, compiled on demand with the host ``cc`` into a
+content-hash-named ``.so`` under a build cache (``build.py``), loaded
+via :mod:`ctypes`, and dispatched behind a feature flag:
+
+- ``backend="numpy" | "native" | "auto"`` kwargs on
+  :meth:`~repro.runtime.CommPlan.apply` /
+  :meth:`~repro.runtime.CommPlan.apply_many`, the solvers, the
+  :class:`~repro.engine.PartitionEngine` and the parallel executor;
+- the ``REPRO_NATIVE`` environment flag (``0`` forces NumPy, ``1`` or
+  unset prefers native where a compiler exists);
+- when no compiler is available, ``auto`` silently falls back to the
+  NumPy kernels and records the reason (``native_status()``, surfaced
+  by the CLI ``native-info`` subcommand).
+
+The C accumulations iterate in index order, so every sum reproduces
+``np.bincount``/``np.add.at`` element order bit for bit — the golden
+y/ledger/flops pins hold unchanged under the native backend.
+"""
+
+from repro.native import ops
+from repro.native.build import (
+    BACKENDS,
+    CACHE_ENV,
+    FLAG_ENV,
+    KernelLib,
+    cache_dir,
+    find_compiler,
+    get_kernels,
+    native_status,
+    resolve_backend,
+    set_default_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_ENV",
+    "FLAG_ENV",
+    "KernelLib",
+    "cache_dir",
+    "find_compiler",
+    "get_kernels",
+    "native_status",
+    "ops",
+    "resolve_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,303 @@
+"""On-demand build cache and dispatch policy for the native C kernels.
+
+The reproduction environment has no network and no numba/Cython, but it
+does ship a C compiler — so the native backend compiles its own tiny
+kernel library (``kernels.c``) on first use with the host ``cc`` into a
+content-hash-named shared object under a build cache directory, and
+loads it via :mod:`ctypes`.
+
+Cache key anatomy (the ``.so`` file name)::
+
+    kernels-<sha256(source ‖ cflags ‖ platform ‖ compiler path ‖ abi)[:16]>.so
+
+Any change to the C source, the flags, the interpreter's platform or
+the compiler selection produces a new name, so stale libraries are
+never picked up; unused old entries are harmless files in the cache.
+The cache directory is ``$REPRO_NATIVE_CACHE`` when set, else
+``$XDG_CACHE_HOME/repro-native`` (``~/.cache/repro-native``).  Builds
+write to a temp name in the cache dir and ``os.replace`` into place, so
+concurrent processes race benignly.
+
+Backend resolution (:func:`resolve_backend`) maps the user-facing
+``backend`` kwarg plus the ``REPRO_NATIVE`` environment flag onto a
+concrete kernel choice:
+
+- ``backend="numpy"`` / ``"native"`` — explicit; ``"native"`` raises
+  :class:`~repro.errors.ConfigError` when the library cannot be built;
+- ``backend="auto"`` (and the default ``None`` with ``REPRO_NATIVE``
+  unset or ``1``) — native when a compiler is available, else a
+  *silent* fall back to the NumPy kernels with the reason recorded in
+  :func:`native_status`;
+- ``REPRO_NATIVE=0`` — the default becomes ``"numpy"`` (explicit
+  kwargs still win).
+
+Build state is process-global: one failed build attempt is remembered
+(with its reason) instead of re-running the compiler on every apply.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+from repro.errors import ConfigError, NativeBuildError
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_ENV",
+    "FLAG_ENV",
+    "KernelLib",
+    "cache_dir",
+    "find_compiler",
+    "get_kernels",
+    "native_status",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+CACHE_ENV = "REPRO_NATIVE_CACHE"
+FLAG_ENV = "REPRO_NATIVE"
+BACKENDS = ("auto", "numpy", "native")
+
+ABI_VERSION = 1
+CFLAGS = ("-std=c99", "-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+_SOURCE = Path(__file__).with_name("kernels.c")
+
+_F64 = ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_I64 = ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_SIGNATURES = {
+    "repro_gather_mul_scatter": [ctypes.c_int64, _F64, _I64, _F64, _I64, _F64],
+    "repro_scatter_add": [ctypes.c_int64, _I64, _F64, _F64],
+    "repro_gather_mul_scatter_many": [
+        ctypes.c_int64, ctypes.c_int64, _F64, _I64, _F64, _I64, _F64,
+    ],
+    "repro_scatter_add_many": [ctypes.c_int64, ctypes.c_int64, _I64, _F64, _F64],
+}
+
+
+class KernelLib:
+    """The loaded kernel library: bound, signature-checked entry points.
+
+    ``gather_mul_scatter(n, vals, cols, x, idx, acc)`` and friends are
+    raw ctypes functions — callers pass C-contiguous float64/int64
+    arrays (enforced by the ``ndpointer`` signatures) and own all
+    allocation; see :mod:`repro.native.ops` for the array-level
+    wrappers the runtime actually uses.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        dll = ctypes.CDLL(str(path))
+        abi = dll.repro_native_abi
+        abi.argtypes = []
+        abi.restype = ctypes.c_int64
+        got = int(abi())
+        if got != ABI_VERSION:
+            raise NativeBuildError(
+                f"cached kernel library {path} has ABI {got}, expected {ABI_VERSION}"
+            )
+        for name, argtypes in _SIGNATURES.items():
+            fn = getattr(dll, name)
+            fn.argtypes = argtypes
+            fn.restype = None
+            setattr(self, name.removeprefix("repro_"), fn)
+        self._dll = dll
+
+
+def find_compiler() -> str | None:
+    """Absolute path of the first usable C compiler, or None.
+
+    Honours ``$CC`` first, then falls back to ``cc``/``gcc``/``clang``.
+    """
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand:
+            path = shutil.which(cand)
+            if path:
+                return path
+    return None
+
+
+def cache_dir() -> Path:
+    """The build cache directory (not created until a build needs it)."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-native"
+
+
+def _build_key(compiler: str) -> str:
+    h = hashlib.sha256()
+    h.update(_SOURCE.read_bytes())
+    h.update(" ".join(CFLAGS).encode())
+    h.update(sys.platform.encode())
+    h.update(compiler.encode())
+    h.update(str(ABI_VERSION).encode())
+    return h.hexdigest()[:16]
+
+
+def _compile(compiler: str, out: Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=out.parent, prefix=out.stem, suffix=".so.tmp")
+    os.close(fd)
+    cmd = [compiler, *CFLAGS, "-o", tmp, str(_SOURCE)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        os.unlink(tmp)
+        raise NativeBuildError(f"C compiler failed to run ({exc})") from exc
+    if proc.returncode != 0:
+        os.unlink(tmp)
+        detail = (proc.stderr or proc.stdout or "").strip()
+        raise NativeBuildError(
+            f"C kernel compile failed (exit {proc.returncode}): {detail[:500]}"
+        )
+    os.replace(tmp, out)
+
+
+# ----------------------------------------------------------------------
+# Process-global build state
+# ----------------------------------------------------------------------
+
+_lib: KernelLib | None = None
+_attempted = False
+_built_here = False
+_reason: str | None = None
+_default_override: str | None = None
+
+
+def _load() -> KernelLib:
+    global _built_here
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeBuildError(
+            "no C compiler found on PATH (tried $CC, cc, gcc, clang)"
+        )
+    so = cache_dir() / f"kernels-{_build_key(compiler)}.so"
+    if not so.exists():
+        _compile(compiler, so)
+        _built_here = True
+    try:
+        return KernelLib(so)
+    except (OSError, NativeBuildError):
+        # A truncated or stale cache entry: evict, rebuild once.
+        so.unlink(missing_ok=True)
+        _compile(compiler, so)
+        _built_here = True
+        return KernelLib(so)
+
+
+def get_kernels() -> KernelLib | None:
+    """The loaded kernel library, building it on first use.
+
+    Returns None when the library cannot be built — the reason is
+    recorded (see :func:`native_status`) and the failed attempt is
+    cached, so repeated calls stay cheap.
+    """
+    global _lib, _attempted, _reason
+    if _lib is not None:
+        return _lib
+    if _attempted:
+        return None
+    _attempted = True
+    try:
+        _lib = _load()
+    except NativeBuildError as exc:
+        _reason = str(exc)
+        _lib = None
+    return _lib
+
+
+def _reset_native_state() -> None:
+    """Forget the loaded library, any failure reason, and the default
+    override (test hook; the next use re-resolves from scratch)."""
+    global _lib, _attempted, _built_here, _reason, _default_override
+    _lib = None
+    _attempted = False
+    _built_here = False
+    _reason = None
+    _default_override = None
+
+
+def set_default_backend(backend: str | None) -> None:
+    """Override what ``backend=None`` resolves to in this process.
+
+    ``None`` restores the environment-driven default.  Used by the CLI
+    to honour ``--backend`` across code paths that do not thread the
+    kwarg explicitly.
+    """
+    if backend is not None and backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    global _default_override
+    _default_override = backend
+
+
+def _env_default() -> str:
+    env = os.environ.get(FLAG_ENV)
+    if env is None or env == "" or env == "1":
+        return "auto"
+    if env == "0":
+        return "numpy"
+    raise ConfigError(f"{FLAG_ENV} must be '0' or '1', got {env!r}")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a ``backend`` kwarg to a concrete ``"numpy"``/``"native"``.
+
+    ``None`` defers to :func:`set_default_backend` and then the
+    ``REPRO_NATIVE`` environment flag; ``"auto"`` picks native when the
+    kernel library is available and silently falls back otherwise (the
+    reason is recorded in :func:`native_status`).  An explicit
+    ``"native"`` that cannot be satisfied raises
+    :class:`~repro.errors.ConfigError`.
+    """
+    if backend is None:
+        backend = _default_override or _env_default()
+    if backend == "numpy":
+        return "numpy"
+    if backend == "native":
+        if get_kernels() is None:
+            raise ConfigError(f"native backend unavailable: {_reason}")
+        return "native"
+    if backend == "auto":
+        return "native" if get_kernels() is not None else "numpy"
+    raise ConfigError(
+        f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+    )
+
+
+def native_status() -> dict:
+    """Everything a user needs to tell which backend actually runs.
+
+    Forces one build attempt (so ``kernels_built`` is meaningful) and
+    reports: the compiler found, the cache directory, the loaded ``.so``
+    path, what the default ``backend=None`` resolves to, and — when the
+    native path is unavailable — the recorded reason.
+    """
+    lib = get_kernels()
+    try:
+        default = resolve_backend(None)
+    except ConfigError as exc:  # explicit default "native" with no compiler
+        default = f"error: {exc}"
+    return {
+        "available": lib is not None,
+        "compiler": find_compiler(),
+        "cache_dir": str(cache_dir()),
+        "so_path": str(lib.path) if lib is not None else None,
+        "built_this_process": _built_here,
+        "default_backend": default,
+        "reason": _reason,
+    }

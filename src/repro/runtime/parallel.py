@@ -58,6 +58,9 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.jobs import resolve_jobs
+from repro.native import ops as native_ops
+from repro.native import resolve_backend
+from repro.native.build import get_kernels
 from repro.runtime.plan import CommPlan, PartPlan
 from repro.simulate.common import resolve_x
 from repro.simulate.machine import SpMVRun
@@ -93,6 +96,13 @@ class _PartRunner:
     arrays or views over shared memory.  ``x_local`` starts NaN-poisoned
     so a read of an x entry the part neither owns nor received surfaces
     as a NaN in ``y`` instead of silently using stale data.
+
+    ``backend`` selects the numeric kernels (already resolved to
+    ``"numpy"`` or ``"native"`` by the caller): the native path runs
+    the fused C loops of :mod:`repro.native` for the per-part
+    precompute, main products, combine and fold — bit-identical
+    because they accumulate in the same index order — while buffer
+    publishes, receives and gather assembly stay NumPy slicing.
     """
 
     def __init__(
@@ -104,12 +114,25 @@ class _PartRunner:
         stats_row: np.ndarray,
         x: np.ndarray,
         y: np.ndarray,
+        backend: str = "numpy",
     ):
         self.s = shard
         self.buffers = buffers
         self.stats = stats_row
         self.x = x
         self.y = y
+        self.lib = get_kernels() if backend == "native" else None
+        if backend == "native" and self.lib is None:
+            raise SimulationError(
+                "native backend selected but the kernel library is unavailable"
+            )
+        if self.lib is not None:
+            self.g1 = native_ops.compact_group(shard.group1)
+            self.g2 = (
+                native_ops.compact_group(shard.group2)
+                if shard.group2 is not None
+                else None
+            )
         self.x_local = np.full(ncols, np.nan)
         self.psums: np.ndarray | None = None
         self.csums: np.ndarray | None = None
@@ -131,6 +154,10 @@ class _PartRunner:
 
     def _precompute(self) -> np.ndarray:
         s = self.s
+        if self.lib is not None:
+            return native_ops.fused_group_gather(
+                self.lib, self.g1, s.pre_vals, s.pre_cols, self.x_local
+            )
         return s.group1.apply(s.pre_vals * self.x_local[s.pre_cols])
 
     def _send(self, phase: str, partials: np.ndarray | None) -> None:
@@ -149,6 +176,11 @@ class _PartRunner:
 
     def _main_y(self) -> np.ndarray:
         s = self.s
+        if self.lib is not None:
+            return native_ops.scatter_products(
+                self.lib, s.main_rows_c, s.main_vals, s.main_cols,
+                self.x_local, s.nrows_local,
+            )
         return np.bincount(
             s.main_rows_c,
             weights=s.main_vals * self.x_local[s.main_cols],
@@ -158,6 +190,8 @@ class _PartRunner:
     def _fold(self, phase: str, partials: np.ndarray) -> np.ndarray:
         s = self.s
         w = s.fold_gather.assemble(self.buffers[phase], partials)
+        if self.lib is not None:
+            return native_ops.scatter_sum(self.lib, s.fold_rows_c, w, s.nrows_local)
         return np.bincount(s.fold_rows_c, weights=w, minlength=s.nrows_local)
 
     # ------------------------------------------------------------- single
@@ -201,7 +235,11 @@ class _PartRunner:
         s = self.s
         self._recv_x("route-row")
         w = s.comb_gather.assemble(self.buffers["route-row"], self.psums)
-        self.csums = s.group2.apply(w)
+        self.csums = (
+            native_ops.group_apply(self.lib, self.g2, w)
+            if self.lib is not None
+            else s.group2.apply(w)
+        )
         self._send("route-col", self.csums)
 
     def _routed2(self) -> None:
@@ -227,6 +265,7 @@ def apply_shards_serial(
     *,
     stats: np.ndarray | None = None,
     timings: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Replay the sharded superstep program on one core.
 
@@ -237,7 +276,10 @@ def apply_shards_serial(
     (``timings``: a (K, nsteps) float64 array accumulated in place;
     ``stats``: a (K, nphases) int64 array of words written).  Message
     buffers start NaN-poisoned, so a slot nobody writes poisons ``y``.
+    ``backend`` selects the per-part numeric kernels exactly as on
+    :meth:`CommPlan.apply`.
     """
+    resolved = resolve_backend(backend)
     x = resolve_x(x, plan.ncols)
     y = np.zeros(plan.nrows)
     buffers = {ph: np.full(n, np.nan) for ph, n in _buffer_sizes(plan).items()}
@@ -245,7 +287,8 @@ def apply_shards_serial(
         stats = np.zeros((plan.nparts, len(PHASES[plan.executor])), dtype=np.int64)
     runners = [
         _PartRunner(
-            sh, ncols=plan.ncols, buffers=buffers, stats_row=stats[sh.part], x=x, y=y
+            sh, ncols=plan.ncols, buffers=buffers, stats_row=stats[sh.part],
+            x=x, y=y, backend=resolved,
         )
         for sh in shards
     ]
@@ -296,7 +339,7 @@ def _segment_views(plan: CommPlan, segments: dict) -> dict[str, np.ndarray]:
     return views
 
 
-def _worker_main(wid, jobs, plan, shards, segments, go, done) -> None:
+def _worker_main(wid, jobs, plan, shards, segments, go, done, backend) -> None:
     """A pool worker: one semaphore token in, one superstep out.
 
     Runs in a forked child; *all* numpy views over the shared segments
@@ -325,6 +368,7 @@ def _worker_main(wid, jobs, plan, shards, segments, go, done) -> None:
                 stats_row=views["stats"][sh.part],
                 x=views["x"],
                 y=views["y"],
+                backend=backend,
             )
             for sh in shards[wid::jobs]
         ]
@@ -388,6 +432,12 @@ class ParallelExecutor:
         Seconds the coordinator waits for each superstep ack before it
         declares the pool dead.  Keep it above the slowest single
         superstep's compute time.
+    backend:
+        Kernel backend for the per-part numeric work (``"auto"`` /
+        ``"numpy"`` / ``"native"``; default the process-wide policy).
+        Resolved — and the native library built and loaded — *before*
+        the workers fork, so children inherit the ``ctypes`` handle
+        through fork with no per-worker compile or pickling.
 
     Use as a context manager or call :meth:`close`; a dropped executor
     is reaped by a ``weakref.finalize`` hook.  After any failure the
@@ -402,11 +452,15 @@ class ParallelExecutor:
         *,
         jobs: int | None = None,
         timeout: float = 60.0,
+        backend: str | None = None,
     ):
         if len(shards) != plan.nparts:
             raise SimulationError(
                 f"got {len(shards)} shards for a {plan.nparts}-part plan"
             )
+        # Resolve (and, for native, build + load the library) pre-fork:
+        # forked workers inherit the loaded CDLL, so no child compiles.
+        self.backend = resolve_backend(backend)
         ctx = get_context("fork")
         self.plan = plan
         self.nparts = plan.nparts
@@ -459,6 +513,7 @@ class ParallelExecutor:
                     self._segments,
                     self._go[w],
                     self._done,
+                    self.backend,
                 ),
                 daemon=True,
                 name=f"{tag}-w{w}",
@@ -593,6 +648,7 @@ def build_parallel_executor(
     *,
     jobs: int | None = None,
     timeout: float = 60.0,
+    backend: str | None = None,
 ) -> ParallelExecutor:
     """Compile, shard and spin up a pool for partition ``p`` in one call.
 
@@ -604,4 +660,4 @@ def build_parallel_executor(
     if plan is None:
         plan = compile_plan(p)
     shards = shard_plan(p, plan)
-    return ParallelExecutor(plan, shards, jobs=jobs, timeout=timeout)
+    return ParallelExecutor(plan, shards, jobs=jobs, timeout=timeout, backend=backend)

@@ -23,9 +23,13 @@ operation is reproduced with the same kernel and the same element
 order: :class:`_GroupPlan` freezes :func:`repro.kernels.group_sum`'s
 histogram-vs-scatter branch choice at compile time, and the scatters
 are the executors' own ``np.bincount`` accumulations over the same
-index arrays.  (``np.add.at`` used by :meth:`CommPlan.apply_many`
-accumulates in the same element order as ``np.bincount``, so batched
-columns match single applies bitwise too.)
+index arrays.  The same applies to the native C backend
+(:mod:`repro.native`, selected per call via ``backend=`` or the
+``REPRO_NATIVE`` flag): its fused gather/scatter loops accumulate in
+index order, so native sums equal ``np.bincount``/``np.add.at``
+element order bit for bit.  :meth:`CommPlan.apply_many` routes each
+column through the same single-RHS accumulation order either way, so
+batched columns match single applies bitwise too.
 """
 
 from __future__ import annotations
@@ -36,6 +40,9 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.kernels import _use_histogram
+from repro.native import ops as native_ops
+from repro.native import resolve_backend
+from repro.native.build import get_kernels
 from repro.simulate.common import resolve_x
 from repro.simulate.machine import MachineModel, PhaseCost, SpMVRun
 from repro.simulate.messages import Ledger
@@ -88,13 +95,81 @@ class _GroupPlan:
         np.add.at(sums, self.index, values)
         return sums
 
-    def apply_many(self, values: np.ndarray) -> np.ndarray:
-        """Column-batched :meth:`apply` over ``values`` of shape (items, r)."""
-        if self.mode == "empty":
-            return values.copy()
-        sums = np.zeros((self.length, values.shape[1]), dtype=values.dtype)
-        np.add.at(sums, self.index, values)
-        return sums[self.take] if self.mode == "hist" else sums
+
+class _NativeApply:
+    """A plan's apply pipeline on the native C kernels.
+
+    Built lazily on the first ``backend="native"`` apply and cached on
+    the plan (never serialized — :meth:`CommPlan.__getstate__` drops
+    it, and :meth:`CommPlan.to_state` ignores it).  Holds nothing but
+    the loaded library plus dtype/contiguity-normalized views of the
+    plan's own index arrays, so construction is cheap and applies are
+    single fused passes per stage.
+    """
+
+    def __init__(self, plan: "CommPlan", lib):
+        f64 = lambda a: np.ascontiguousarray(a, dtype=np.float64)  # noqa: E731
+        i64 = lambda a: np.ascontiguousarray(a, dtype=np.int64)  # noqa: E731
+        self.lib = lib
+        self.plan = plan
+        # Everything iteration-invariant is normalized here, once: the
+        # group indices densified (see ``native_ops.compact_group`` —
+        # same accumulation order, no span-sized accumulators), the
+        # index/value arrays pinned to contiguous int64/float64.
+        self.group1 = native_ops.compact_group(plan.group1)
+        self.group2 = (
+            native_ops.compact_group(plan.group2)
+            if plan.group2 is not None
+            else None
+        )
+        self.pre_vals = f64(plan.pre_vals)
+        self.pre_cols = i64(plan.pre_cols)
+        self.fold_rows = i64(plan.fold_rows)
+        self.main_rows = None if plan.main_rows is None else i64(plan.main_rows)
+        self.main_cols = None if plan.main_cols is None else i64(plan.main_cols)
+        self.main_vals = None if plan.main_vals is None else f64(plan.main_vals)
+
+    def apply_y(self, x: np.ndarray) -> np.ndarray:
+        p, lib = self.plan, self.lib
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        psums = native_ops.fused_group_gather(
+            lib, self.group1, self.pre_vals, self.pre_cols, x
+        )
+        fsums = (
+            native_ops.group_apply(lib, self.group2, psums)
+            if self.group2 is not None
+            else psums
+        )
+        if self.main_rows is None:
+            return native_ops.scatter_sum(lib, self.fold_rows, fsums, p.nrows)
+        y = native_ops.scatter_products(
+            lib, self.main_rows, self.main_vals, self.main_cols, x, p.nrows
+        )
+        if self.fold_rows.size:
+            # Fold into a separate accumulator, then one vector add —
+            # the same association as the NumPy ``y += bincount(...)``.
+            y += native_ops.scatter_sum(lib, self.fold_rows, fsums, p.nrows)
+        return y
+
+    def apply_many(self, xs: np.ndarray) -> np.ndarray:
+        p, lib = self.plan, self.lib
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        psums = native_ops.fused_group_gather_many(
+            lib, self.group1, self.pre_vals, self.pre_cols, xs
+        )
+        fsums = (
+            native_ops.group_apply_many(lib, self.group2, psums)
+            if self.group2 is not None
+            else psums
+        )
+        if self.main_rows is None:
+            return native_ops.scatter_sum_many(lib, self.fold_rows, fsums, p.nrows)
+        y = native_ops.scatter_products_many(
+            lib, self.main_rows, self.main_vals, self.main_cols, xs, p.nrows
+        )
+        if self.fold_rows.size:
+            y += native_ops.scatter_sum_many(lib, self.fold_rows, fsums, p.nrows)
+        return y
 
 
 # ----------------------------------------------------------------------
@@ -231,12 +306,16 @@ class CommPlan:
         """The executors' default input vector."""
         return resolve_x(None, self.ncols)
 
-    def apply_y(self, x: np.ndarray | None = None) -> np.ndarray:
-        """``A @ x`` through the compiled schedule — just the vector.
+    def _native(self) -> _NativeApply:
+        """The lazily-built native kernel state (resolve_backend has
+        already guaranteed the library loads)."""
+        state = self.__dict__.get("_native_state")
+        if state is None:
+            state = _NativeApply(self, get_kernels())
+            self.__dict__["_native_state"] = state
+        return state
 
-        Bit-identical to the matching per-call executor's ``run.y``.
-        """
-        x = resolve_x(x, self.ncols)
+    def _apply_y_numpy(self, x: np.ndarray) -> np.ndarray:
         psums = self.group1.apply(self.pre_vals * x[self.pre_cols])
         fsums = self.group2.apply(psums) if self.group2 is not None else psums
         if self.main_rows is None:
@@ -250,7 +329,24 @@ class CommPlan:
             y += np.bincount(self.fold_rows, weights=fsums, minlength=self.nrows)
         return y
 
-    def apply(self, x: np.ndarray | None = None) -> SpMVRun:
+    def apply_y(
+        self, x: np.ndarray | None = None, *, backend: str | None = None
+    ) -> np.ndarray:
+        """``A @ x`` through the compiled schedule — just the vector.
+
+        Bit-identical to the matching per-call executor's ``run.y``
+        under either kernel backend (``backend``: ``"numpy"``,
+        ``"native"``, ``"auto"``, or None for the process default —
+        see :func:`repro.native.resolve_backend`).
+        """
+        x = resolve_x(x, self.ncols)
+        if resolve_backend(backend) == "native":
+            return self._native().apply_y(x)
+        return self._apply_y_numpy(x)
+
+    def apply(
+        self, x: np.ndarray | None = None, *, backend: str | None = None
+    ) -> SpMVRun:
         """One simulated multiply with zero per-call set-up.
 
         Only ``y`` is computed per call; the returned run shares this
@@ -259,7 +355,7 @@ class CommPlan:
         ``words``/``msgs``/``time``) reads the same objects.
         """
         return SpMVRun(
-            y=self.apply_y(x),
+            y=self.apply_y(x, backend=backend),
             ledger=self.ledger,
             phases=self.phases,
             nnz=self.nnz,
@@ -267,34 +363,42 @@ class CommPlan:
             meta=self.meta,
         )
 
-    def apply_many(self, xs: np.ndarray) -> np.ndarray:
+    def apply_many(
+        self, xs: np.ndarray, *, backend: str | None = None
+    ) -> np.ndarray:
         """Batch column-stacked right-hand sides ``xs`` (ncols, r).
 
         Returns ``Y`` of shape (nrows, r); each column is bit-identical
         to ``apply_y(xs[:, j])``.  A 1-D input is promoted to a single
-        column and returned 1-D.
+        column and returned 1-D.  The native backend runs the batched C
+        kernels (one pass over the index arrays for all r columns); the
+        NumPy backend routes each column through the single-RHS kernels
+        — the former batched ``np.add.at`` formulation cost more per
+        column than sequential applies, and per-column ``bincount``
+        keeps the exact element order.
         """
         xs = np.asarray(xs, dtype=np.float64)
         if xs.ndim == 1:
-            return self.apply_y(xs)
+            return self.apply_y(xs, backend=backend)
         if xs.ndim != 2 or xs.shape[0] != self.ncols:
             raise SimulationError(
                 f"xs has shape {xs.shape}, expected ({self.ncols}, r)"
             )
-        psums = self.group1.apply_many(self.pre_vals[:, None] * xs[self.pre_cols])
-        fsums = self.group2.apply_many(psums) if self.group2 is not None else psums
-        r = xs.shape[1]
-        if self.main_rows is None:
-            y = np.zeros((self.nrows, r))
-            np.add.at(y, self.fold_rows, fsums)
-            return y
-        y = np.zeros((self.nrows, r))
-        np.add.at(y, self.main_rows, self.main_vals[:, None] * xs[self.main_cols])
-        if self.fold_rows.size:
-            folded = np.zeros((self.nrows, r))
-            np.add.at(folded, self.fold_rows, fsums)
-            y = y + folded
+        if resolve_backend(backend) == "native":
+            return self._native().apply_many(xs)
+        y = np.empty((self.nrows, xs.shape[1]))
+        for j in range(xs.shape[1]):
+            y[:, j] = self._apply_y_numpy(np.ascontiguousarray(xs[:, j]))
         return y
+
+    # ------------------------------------------------------------ pickling
+
+    def __getstate__(self) -> dict:
+        # The native kernel state wraps a ctypes library; rebuild it
+        # lazily on the other side instead of pickling it.
+        state = self.__dict__.copy()
+        state.pop("_native_state", None)
+        return state
 
     # ------------------------------------------------------------- costs
 

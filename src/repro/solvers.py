@@ -58,7 +58,10 @@ class _SpMVEngine:
     (:class:`~repro.runtime.ParallelExecutor`, bit-identical output).
     A caller-owned pool can be passed via ``parallel`` (the engine's
     memoized path); otherwise a pool is built here and :meth:`close`
-    shuts it down.
+    shuts it down.  ``backend`` picks the numeric kernels
+    (``"auto"``/``"numpy"``/``"native"``; see :mod:`repro.native`),
+    resolved once at set-up so the per-iteration apply carries no
+    dispatch cost.
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class _SpMVEngine:
         executor: str = "compiled",
         jobs: int | None = None,
         parallel=None,
+        backend: str | None = None,
     ):
         m, n = p.matrix.shape
         if m != n:
@@ -95,6 +99,9 @@ class _SpMVEngine:
                 f"unknown solver executor {executor!r}; "
                 "expected 'compiled' or 'parallel'"
             )
+        from repro.native import resolve_backend
+
+        resolved = resolve_backend(backend)
         self._pool = None
         self._owns_pool = False
         if parallel is not None:
@@ -111,9 +118,14 @@ class _SpMVEngine:
         elif executor == "parallel":
             from repro.runtime import build_parallel_executor
 
-            self._pool = build_parallel_executor(p, self.plan, jobs=jobs)
+            self._pool = build_parallel_executor(p, self.plan, jobs=jobs, backend=resolved)
             self._owns_pool = True
-        self._apply = self.plan.apply_y if self._pool is None else self._pool.apply_y
+        if self._pool is None:
+            plan_, backend_ = self.plan, resolved
+            self._apply = lambda x: plan_.apply_y(x, backend=backend_)
+        else:
+            self._apply = self._pool.apply_y
+        self.backend = resolved if self._pool is None else self._pool.backend
         self.words = 0
         self.msgs = 0
         self.time = 0.0
@@ -151,6 +163,7 @@ def power_iteration(
     executor: str = "compiled",
     jobs: int | None = None,
     parallel=None,
+    backend: str | None = None,
 ) -> SolveResult:
     """Dominant eigenvalue estimate by repeated distributed SpMV.
 
@@ -162,11 +175,13 @@ def power_iteration(
     a shared-memory worker pool (``jobs`` workers, bit-identical to the
     compiled path); pass ``parallel`` to reuse a persistent
     :class:`~repro.runtime.ParallelExecutor` across solves.
+    ``backend`` selects the numeric kernels (see :mod:`repro.native`).
     """
     if iters < 1:
         raise ConfigError(f"power_iteration needs iters >= 1, got {iters}")
     eng = _SpMVEngine(
-        p, machine or MachineModel(), plan, executor=executor, jobs=jobs, parallel=parallel
+        p, machine or MachineModel(), plan,
+        executor=executor, jobs=jobs, parallel=parallel, backend=backend,
     )
     n = eng.n
     x = (np.ones(n) if x0 is None else np.asarray(x0, dtype=np.float64)).copy()
@@ -216,12 +231,14 @@ def jacobi(
     executor: str = "compiled",
     jobs: int | None = None,
     parallel=None,
+    backend: str | None = None,
 ) -> SolveResult:
     """Jacobi iteration ``z ← D⁻¹(b − (A−D) z)`` for diagonally dominant A."""
     if iters < 1:
         raise ConfigError(f"jacobi needs iters >= 1, got {iters}")
     eng = _SpMVEngine(
-        p, machine or MachineModel(), plan, executor=executor, jobs=jobs, parallel=parallel
+        p, machine or MachineModel(), plan,
+        executor=executor, jobs=jobs, parallel=parallel, backend=backend,
     )
     a = p.matrix
     d = np.asarray(a.diagonal(), dtype=np.float64)
@@ -268,12 +285,14 @@ def conjugate_gradient(
     executor: str = "compiled",
     jobs: int | None = None,
     parallel=None,
+    backend: str | None = None,
 ) -> SolveResult:
     """CG for symmetric positive definite ``A`` (values must be SPD)."""
     if iters < 1:
         raise ConfigError(f"conjugate_gradient needs iters >= 1, got {iters}")
     eng = _SpMVEngine(
-        p, machine or MachineModel(), plan, executor=executor, jobs=jobs, parallel=parallel
+        p, machine or MachineModel(), plan,
+        executor=executor, jobs=jobs, parallel=parallel, backend=backend,
     )
     b = np.asarray(b, dtype=np.float64)
     z = np.zeros_like(b)

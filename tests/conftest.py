@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import glob
+import os
+import pathlib
 import signal
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.native import find_compiler
 from repro.sparse.coo import canonical_coo
 
 #: Hard wall-clock cap for pool-spawning tests: a superstep-protocol
@@ -53,6 +56,57 @@ def _no_leaked_shared_memory():
     yield
     leaked = [s for s in _parallel_segments() if s not in before]
     assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``native``-marked tests on hosts without a C compiler."""
+    if find_compiler() is not None:
+        return
+    skip = pytest.mark.skip(reason="no C compiler on PATH for the native backend")
+    for item in items:
+        if item.get_closest_marker("native") is not None:
+            item.add_marker(skip)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_native_cache(tmp_path_factory):
+    """Point the native build cache at a session temp dir when unset.
+
+    Keeps the suite from writing into (or reading stale kernels from)
+    the user's ``~/.cache/repro-native``; an explicitly exported
+    ``REPRO_NATIVE_CACHE`` is honoured so a warm cache can be reused
+    across runs.
+    """
+    from repro.native.build import CACHE_ENV
+
+    if os.environ.get(CACHE_ENV):
+        yield
+        return
+    os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("repro-native-cache"))
+    try:
+        yield
+    finally:
+        os.environ.pop(CACHE_ENV, None)
+
+
+def _build_artifacts_in_tree() -> list[str]:
+    """Compiled-object files under the repo tree (never expected: the
+    native build cache lives outside it)."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    return sorted(
+        str(p)
+        for pat in ("*.so", "*.o", "*.so.tmp*")
+        for p in root.rglob(pat)
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_stray_build_artifacts(_hermetic_native_cache):
+    """The whole session must not strand ``.so``/``.o`` files in-tree."""
+    before = _build_artifacts_in_tree()
+    yield
+    stray = [p for p in _build_artifacts_in_tree() if p not in before]
+    assert not stray, f"stray native build artifacts in the repo tree: {stray}"
 
 
 @pytest.fixture

@@ -80,11 +80,19 @@ def test_bench_runtime_quick(tmp_path):
     result = bench_runtime.run(out, quick=True)
     assert out.exists()
     data = json.loads(out.read_text())
-    assert {"config", "entries", "solver", "acceptance"} <= set(data)
+    assert {"config", "native", "entries", "solver", "acceptance"} <= set(data)
     assert len(data["entries"]) == 12  # 2 models x 2 K values x 3 executors
     for entry in data["entries"]:
         assert entry["apply_s"] > 0
+        assert entry["vs_scipy"] > 0
+        assert entry["apply_many_per_rhs_s"] > 0
         assert entry["identical"] is True
+        if data["native"]["available"]:
+            assert entry["apply_native_s"] > 0
+            assert entry["native_speedup"] > 0
+            assert entry["vs_scipy_native"] > 0
+        else:
+            assert entry["apply_native_s"] is None
     assert data["solver"]["comm_words_equal"] is True
     assert result["config"]["quick"] is True
 
