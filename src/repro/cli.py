@@ -15,6 +15,10 @@
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --jobs 0
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --backend native
     python -m repro.cli native-info
+    python -m repro.cli check lint
+    python -m repro.cli check protocol --workers 2 3 4 --max-faults 1
+    python -m repro.cli check plan --matrix trdheim --scheme s2d --k 8 --scale tiny
+    python -m repro.cli check plan --plan-file saved-plan.npz
 
 The ``table`` subcommand regenerates any of the paper's Tables I–VII
 through the sweep orchestrator — ``--jobs N`` fans the per-matrix tasks
@@ -35,6 +39,14 @@ through the shared buffers are reconciled against the machine-model
 ledger.  ``--backend {auto,numpy,native}`` (on ``solve`` and ``table``)
 selects the numeric kernels; ``native-info`` reports whether the
 native C kernel backend is available and where its build cache lives.
+
+``check`` runs the static verification layer and exits 1 on any
+violation: ``check plan`` proves a compiled plan's index-array IR
+well-formed (from a partitioned suite matrix, or a saved ``.npz`` via
+``--plan-file``), ``check lint`` runs the project AST lint over the
+``repro`` package, ``check protocol`` exhaustively model-checks the
+parallel executor's semaphore superstep protocol including crash
+faults.
 """
 
 from __future__ import annotations
@@ -207,6 +219,35 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical either way)",
     )
 
+    p_check = sub.add_parser(
+        "check", help="static verification: plan IR, project lint, protocol model"
+    )
+    p_check.add_argument(
+        "what", choices=("plan", "lint", "protocol"),
+        help="which static layer to run (each exits 1 on violations)",
+    )
+    p_check.add_argument(
+        "--plan-file", default=None,
+        help="saved .npz compiled plan to verify (check plan)",
+    )
+    p_check.add_argument("--matrix", help="suite matrix name (check plan)")
+    p_check.add_argument("--mtx", help="path to a MatrixMarket file (check plan)")
+    p_check.add_argument("--scheme", choices=_SCHEMES, default="s2d")
+    p_check.add_argument("--k", type=int, default=4)
+    p_check.add_argument("--scale", choices=SCALES, default="tiny")
+    p_check.add_argument(
+        "--path", default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    p_check.add_argument(
+        "--workers", type=int, nargs="+", default=[2, 3, 4],
+        help="pool sizes to model-check (check protocol)",
+    )
+    p_check.add_argument(
+        "--max-faults", type=int, default=1,
+        help="crash/raise fault budget per modelled run (check protocol)",
+    )
+
     args = ap.parse_args(argv)
 
     try:
@@ -257,6 +298,9 @@ def _dispatch(args) -> int:
         if status["reason"]:
             print(f"reason={status['reason']}")
         return 0
+
+    if args.cmd == "check":
+        return _check_cmd(args)
 
     if args.cmd == "spy":
         from repro.sparse import spy_string
@@ -379,6 +423,62 @@ def _dispatch(args) -> int:
         return 0
 
     return 1  # pragma: no cover
+
+
+def _check_cmd(args) -> int:
+    """The ``check`` subcommand: 0 when every property holds, 1 otherwise."""
+    if args.what == "lint":
+        from repro.verify import run_lint
+
+        violations = run_lint(args.path)
+        for v in violations:
+            print(v)
+        print(f"lint: {len(violations)} violation(s)")
+        return 1 if violations else 0
+
+    if args.what == "protocol":
+        from repro.verify import check_protocol
+
+        reports = check_protocol(
+            workers=tuple(args.workers),
+            max_faults=args.max_faults,
+            raise_on_error=False,
+        )
+        for r in reports:
+            print(r.summary())
+        return 0 if all(r.ok for r in reports) else 1
+
+    # check plan
+    from repro.errors import SerializationError
+    from repro.verify import check_plan, verify_plan
+
+    if args.plan_file is not None:
+        from repro.partition.serialize import load_plan
+
+        try:
+            plan = load_plan(args.plan_file, verify=False)
+        except SerializationError as exc:
+            print(f"s2d-repro: error: {exc}", file=sys.stderr)
+            return 1
+        report = check_plan(plan)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if bool(args.matrix) == bool(args.mtx):
+        raise SystemExit(
+            "check plan needs exactly one of --matrix / --mtx / --plan-file"
+        )
+    from repro.runtime import shard_plan
+
+    cfg = ExperimentConfig(scale=args.scale)
+    a = read_matrix_market(args.mtx) if args.mtx else _find_matrix(args.matrix, args.scale)
+    eng = _engine(a, cfg)
+    plan = eng.plan(args.scheme, args.k, config=cfg.partitioner())
+    cplan = eng.compiled_plan(plan)
+    shards = shard_plan(plan.partition, cplan)
+    report = verify_plan(cplan, shards, raise_on_error=False)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -373,7 +373,7 @@ class PartitionEngine:
         xkey = ("run", plan.key, None if x is None else (x.shape, _digest(x)))
         return self._memo(xkey, lambda: run_partition(plan.partition, x))
 
-    def compiled_plan(self, plan: Plan) -> CommPlan:
+    def compiled_plan(self, plan: Plan, *, verify: bool = False) -> CommPlan:
         """Memoized communication plan compiled from ``plan``'s partition.
 
         The :class:`~repro.runtime.CommPlan` sits next to the block
@@ -381,6 +381,13 @@ class PartitionEngine:
         the CLI ``solve`` subcommand and repeated-apply workloads all
         fetch one compiled plan per (method, K, config) instead of
         re-deriving the message structure per multiply.
+
+        ``verify=True`` runs the static plan-IR checker
+        (:func:`repro.verify.verify_plan`) on the result — whether
+        freshly compiled, memoized, or fetched from the artifact store
+        — raising :class:`~repro.errors.VerificationError` on any
+        violation.  Verification is not part of the memo key: it is a
+        read-only audit of the same plan object.
         """
         key = ("comm-plan", plan.key)
 
@@ -397,7 +404,12 @@ class PartitionEngine:
                 self.artifacts.store_plan(self.matrix_digest, plan.key, built)
             return built
 
-        return self._memo(key, build)
+        cplan = self._memo(key, build)
+        if verify:
+            from repro.verify import verify_plan
+
+            verify_plan(cplan)
+        return cplan
 
     def plan_shards(self, plan: Plan) -> list:
         """Memoized per-part shards of ``plan``'s compiled CommPlan.

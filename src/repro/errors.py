@@ -44,6 +44,28 @@ class NativeBuildError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """Raised when the static verification layer rejects an artifact.
+
+    Carries a :class:`repro.verify.VerifyReport` summary: the plan-IR
+    checker found an out-of-bounds index array, a non-covering owned-row
+    set, a send-slot/ledger mismatch, or a statically unsound superstep
+    schedule.  Unlike :class:`SimulationError` — which fires when a
+    *run* goes wrong — this fires before anything executes.
+    """
+
+
+class SerializationError(ReproError):
+    """Raised when a save file is malformed, mistyped, or fails the
+    plan-IR verification that :func:`repro.partition.serialize.load_plan`
+    runs on untrusted input.
+
+    Loading a corrupted compiled plan without this guard surfaces much
+    later as a downstream ``IndexError`` — or, under the native kernels,
+    a silent out-of-bounds memory write.
+    """
+
+
 class UsageError(ConfigError):
     """Raised for malformed command-level inputs (CLI flags, job counts).
 

@@ -29,26 +29,34 @@ from repro.native import ops
 from repro.native.build import (
     BACKENDS,
     CACHE_ENV,
+    DEBUG_ENV,
     FLAG_ENV,
+    SANITIZE_ENV,
     KernelLib,
     cache_dir,
+    debug_bounds_enabled,
     find_compiler,
     get_kernels,
     native_status,
     resolve_backend,
+    sanitize_default,
     set_default_backend,
 )
 
 __all__ = [
     "BACKENDS",
     "CACHE_ENV",
+    "DEBUG_ENV",
     "FLAG_ENV",
+    "SANITIZE_ENV",
     "KernelLib",
     "cache_dir",
+    "debug_bounds_enabled",
     "find_compiler",
     "get_kernels",
     "native_status",
     "ops",
     "resolve_backend",
+    "sanitize_default",
     "set_default_backend",
 ]

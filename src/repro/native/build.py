@@ -33,6 +33,27 @@ concrete kernel choice:
 
 Build state is process-global: one failed build attempt is remembered
 (with its reason) instead of re-running the compiler on every apply.
+
+Sanitizer variant: ``get_kernels(sanitize=True)`` (or the environment
+flag ``REPRO_NATIVE_SANITIZE=1``, which flips the default so *every*
+native consumer in the process — including forked pool workers — runs
+the instrumented library) builds the same source with
+``-fsanitize=address,undefined``.  The variant gets its own
+content-hash cache key (the flags are hashed), its own build-state
+slot, and a **subprocess load probe**: an ASan runtime linked into a
+``dlopen``-ed library can abort the host interpreter outright on
+unsupported toolchains, so the library is first loaded in a throwaway
+``python -c`` child; a probe failure is recorded as the skip reason
+(surfaced via :func:`native_status` and the ``sanitize``-marked tests)
+instead of taking the test process down.  ``ASAN_OPTIONS`` gains
+``verify_asan_link_order=0`` (the runtime arrives by ``dlopen``, not
+``LD_PRELOAD``) and ``detect_leaks=0`` (CPython's arenas are not this
+suite's bug surface) before either load.
+
+``REPRO_NATIVE_DEBUG=1`` enables the ctypes pre-call bounds validator
+in :mod:`repro.native.ops` — pure-Python index/size validation ahead
+of every kernel call, the cheap cousin of the sanitizer build.  Both
+env flags are read here and nowhere else (lint rule ``REP004``).
 """
 
 from __future__ import annotations
@@ -54,22 +75,37 @@ from repro.errors import ConfigError, NativeBuildError
 __all__ = [
     "BACKENDS",
     "CACHE_ENV",
+    "DEBUG_ENV",
     "FLAG_ENV",
+    "SANITIZE_ENV",
     "KernelLib",
     "cache_dir",
+    "debug_bounds_enabled",
     "find_compiler",
     "get_kernels",
     "native_status",
     "resolve_backend",
+    "sanitize_default",
     "set_default_backend",
 ]
 
 CACHE_ENV = "REPRO_NATIVE_CACHE"
 FLAG_ENV = "REPRO_NATIVE"
+SANITIZE_ENV = "REPRO_NATIVE_SANITIZE"
+DEBUG_ENV = "REPRO_NATIVE_DEBUG"
 BACKENDS = ("auto", "numpy", "native")
 
 ABI_VERSION = 1
 CFLAGS = ("-std=c99", "-O3", "-fPIC", "-shared", "-ffp-contract=off")
+# The sanitizer variant keeps -ffp-contract=off and the same loop code,
+# so its outputs stay bit-identical; -O1 keeps ASan shadow checks fast
+# to compile while preserving line-accurate UBSan reports.
+SANITIZE_CFLAGS = (
+    "-std=c99", "-O1", "-g", "-fno-omit-frame-pointer", "-fPIC", "-shared",
+    "-ffp-contract=off", "-fsanitize=address,undefined",
+)
+_VARIANT_CFLAGS = {"std": CFLAGS, "sanitize": SANITIZE_CFLAGS}
+_ASAN_OPTIONS = "verify_asan_link_order=0:detect_leaks=0"
 
 _SOURCE = Path(__file__).with_name("kernels.c")
 
@@ -137,21 +173,21 @@ def cache_dir() -> Path:
     return base / "repro-native"
 
 
-def _build_key(compiler: str) -> str:
+def _build_key(compiler: str, cflags: tuple = CFLAGS) -> str:
     h = hashlib.sha256()
     h.update(_SOURCE.read_bytes())
-    h.update(" ".join(CFLAGS).encode())
+    h.update(" ".join(cflags).encode())
     h.update(sys.platform.encode())
     h.update(compiler.encode())
     h.update(str(ABI_VERSION).encode())
     return h.hexdigest()[:16]
 
 
-def _compile(compiler: str, out: Path) -> None:
+def _compile(compiler: str, out: Path, cflags: tuple = CFLAGS) -> None:
     out.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=out.parent, prefix=out.stem, suffix=".so.tmp")
     os.close(fd)
-    cmd = [compiler, *CFLAGS, "-o", tmp, str(_SOURCE)]
+    cmd = [compiler, *cflags, "-o", tmp, str(_SOURCE)]
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
     except (OSError, subprocess.TimeoutExpired) as exc:
@@ -167,66 +203,148 @@ def _compile(compiler: str, out: Path) -> None:
 
 
 # ----------------------------------------------------------------------
-# Process-global build state
+# Process-global build state (one slot per build variant)
 # ----------------------------------------------------------------------
 
-_lib: KernelLib | None = None
-_attempted = False
-_built_here = False
-_reason: str | None = None
+
+def _fresh_state() -> dict:
+    return {
+        v: {"lib": None, "attempted": False, "built": False, "reason": None}
+        for v in _VARIANT_CFLAGS
+    }
+
+
+_state = _fresh_state()
 _default_override: str | None = None
 
 
-def _load() -> KernelLib:
-    global _built_here
+def _asan_preconfigured() -> bool:
+    """Whether this interpreter was *started* with a usable ASAN_OPTIONS.
+
+    The ASan runtime reads its options straight from
+    ``/proc/self/environ`` during initialization, so a runtime
+    ``os.environ`` write is invisible to it — only the exec-time
+    environment counts.  Without ``verify_asan_link_order=0`` a
+    ``dlopen``-ed ASan runtime aborts the whole process.
+    """
+    try:
+        raw = Path("/proc/self/environ").read_bytes()
+    except OSError:  # pragma: no cover - non-procfs platform
+        return "verify_asan_link_order=0" in os.environ.get("ASAN_OPTIONS", "")
+    for chunk in raw.split(b"\0"):
+        if chunk.startswith(b"ASAN_OPTIONS="):
+            return b"verify_asan_link_order=0" in chunk
+    return False
+
+
+def _probe_load(so: Path) -> None:
+    """Try ``dlopen`` in a throwaway child before this process commits.
+
+    A sanitizer runtime that cannot initialize under ``dlopen`` aborts
+    the host; probing in a subprocess converts that abort into a
+    recorded skip reason.
+    """
+    env = dict(os.environ, ASAN_OPTIONS=_ASAN_OPTIONS)
+    code = f"import ctypes; ctypes.CDLL({str(so)!r})"
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise NativeBuildError(f"load probe failed to run ({exc})") from exc
+    if proc.returncode != 0:
+        detail = (proc.stderr or proc.stdout or "").strip()
+        raise NativeBuildError(
+            f"sanitized library failed the load probe "
+            f"(exit {proc.returncode}): {detail[:500]}"
+        )
+
+
+def _load(variant: str) -> KernelLib:
     compiler = find_compiler()
     if compiler is None:
         raise NativeBuildError(
             "no C compiler found on PATH (tried $CC, cc, gcc, clang)"
         )
-    so = cache_dir() / f"kernels-{_build_key(compiler)}.so"
+    cflags = _VARIANT_CFLAGS[variant]
+    so = cache_dir() / f"kernels-{_build_key(compiler, cflags)}.so"
     if not so.exists():
-        _compile(compiler, so)
-        _built_here = True
+        _compile(compiler, so, cflags)
+        _state[variant]["built"] = True
+    if variant == "sanitize":
+        # The ASan/UBSan runtimes arrive via dlopen; probe in a child
+        # (with ASAN_OPTIONS in its exec-time env) first, and refuse the
+        # in-process load unless *this* interpreter was started with the
+        # option — ASan reads /proc/self/environ at init, so setting it
+        # now would not prevent the abort.
+        os.environ["ASAN_OPTIONS"] = _ASAN_OPTIONS  # for exec'd children
+        _probe_load(so)
+        if not _asan_preconfigured():
+            raise NativeBuildError(
+                "sanitized library builds and probe-loads, but this "
+                "interpreter was not started with "
+                f"ASAN_OPTIONS={_ASAN_OPTIONS} — an in-process dlopen "
+                "would abort; re-run under that environment (the "
+                "sanitize test tier spawns such a child)"
+            )
     try:
         return KernelLib(so)
     except (OSError, NativeBuildError):
         # A truncated or stale cache entry: evict, rebuild once.
         so.unlink(missing_ok=True)
-        _compile(compiler, so)
-        _built_here = True
+        _compile(compiler, so, cflags)
+        _state[variant]["built"] = True
         return KernelLib(so)
 
 
-def get_kernels() -> KernelLib | None:
+def sanitize_default() -> bool:
+    """Whether ``REPRO_NATIVE_SANITIZE=1`` makes the sanitized build the
+    process default (the flag is read here and nowhere else)."""
+    env = os.environ.get(SANITIZE_ENV)
+    if env in (None, "", "0"):
+        return False
+    if env == "1":
+        return True
+    raise ConfigError(f"{SANITIZE_ENV} must be '0' or '1', got {env!r}")
+
+
+def debug_bounds_enabled() -> bool:
+    """Whether ``REPRO_NATIVE_DEBUG=1`` enables the ctypes pre-call
+    bounds validator in :mod:`repro.native.ops`."""
+    return os.environ.get(DEBUG_ENV) == "1"
+
+
+def get_kernels(sanitize: bool | None = None) -> KernelLib | None:
     """The loaded kernel library, building it on first use.
 
-    Returns None when the library cannot be built — the reason is
-    recorded (see :func:`native_status`) and the failed attempt is
-    cached, so repeated calls stay cheap.
+    ``sanitize=True`` selects the ASan/UBSan build variant (its own
+    cache entry and failure slot); ``None`` defers to the
+    ``REPRO_NATIVE_SANITIZE`` flag.  Returns None when the requested
+    variant cannot be built or loaded — the reason is recorded (see
+    :func:`native_status`) and the failed attempt is cached, so
+    repeated calls stay cheap.
     """
-    global _lib, _attempted, _reason
-    if _lib is not None:
-        return _lib
-    if _attempted:
+    variant = "sanitize" if (sanitize_default() if sanitize is None else sanitize) else "std"
+    slot = _state[variant]
+    if slot["lib"] is not None:
+        return slot["lib"]
+    if slot["attempted"]:
         return None
-    _attempted = True
+    slot["attempted"] = True
     try:
-        _lib = _load()
+        slot["lib"] = _load(variant)
     except NativeBuildError as exc:
-        _reason = str(exc)
-        _lib = None
-    return _lib
+        slot["reason"] = str(exc)
+        slot["lib"] = None
+    return slot["lib"]
 
 
 def _reset_native_state() -> None:
-    """Forget the loaded library, any failure reason, and the default
+    """Forget the loaded libraries, any failure reasons, and the default
     override (test hook; the next use re-resolves from scratch)."""
-    global _lib, _attempted, _built_here, _reason, _default_override
-    _lib = None
-    _attempted = False
-    _built_here = False
-    _reason = None
+    global _state, _default_override
+    _state = _fresh_state()
     _default_override = None
 
 
@@ -270,7 +388,10 @@ def resolve_backend(backend: str | None = None) -> str:
         return "numpy"
     if backend == "native":
         if get_kernels() is None:
-            raise ConfigError(f"native backend unavailable: {_reason}")
+            variant = "sanitize" if sanitize_default() else "std"
+            raise ConfigError(
+                f"native backend unavailable: {_state[variant]['reason']}"
+            )
         return "native"
     if backend == "auto":
         return "native" if get_kernels() is not None else "numpy"
@@ -288,6 +409,7 @@ def native_status() -> dict:
     native path is unavailable — the recorded reason.
     """
     lib = get_kernels()
+    variant = "sanitize" if sanitize_default() else "std"
     try:
         default = resolve_backend(None)
     except ConfigError as exc:  # explicit default "native" with no compiler
@@ -297,7 +419,11 @@ def native_status() -> dict:
         "compiler": find_compiler(),
         "cache_dir": str(cache_dir()),
         "so_path": str(lib.path) if lib is not None else None,
-        "built_this_process": _built_here,
+        "built_this_process": _state[variant]["built"],
         "default_backend": default,
-        "reason": _reason,
+        "reason": _state[variant]["reason"],
+        "variant": variant,
+        "sanitize_attempted": _state["sanitize"]["attempted"],
+        "sanitize_reason": _state["sanitize"]["reason"],
+        "debug_bounds": debug_bounds_enabled(),
     }

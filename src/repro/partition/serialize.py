@@ -7,8 +7,19 @@ executor run, so long-lived iterative workloads cache the compiled plan
 too.  Format: a single ``.npz`` holding the payload arrays and a small
 JSON header carrying an explicit format version and a payload tag
 (``"partition"`` or ``"comm-plan"``) — loading a file of the wrong
-payload type or an unknown version fails with a clear error, and
-version-1 partition files (written before the tag existed) still load.
+payload type or an unknown version fails with a clear
+:class:`~repro.errors.SerializationError`, and version-1 partition
+files (written before the tag existed) still load.
+
+A loaded plan is **untrusted input**: its index arrays drive raw
+gathers and scatters (and, on the native backend, unchecked C loops),
+so :func:`load_plan` routes every plan through the static plan-IR
+checker (:func:`repro.verify.check_plan`) before returning it.  A
+corrupted or hand-edited file surfaces as a ``SerializationError``
+listing the violated invariants instead of a downstream ``IndexError``
+— or a silent out-of-bounds memory write.  Callers that have already
+verified a file (or are round-tripping in-process) can opt out with
+``verify=False``.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ import os
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import ReproError
+from repro.errors import SerializationError
 from repro.partition.types import SpMVPartition, VectorPartition
 
 __all__ = ["save_partition", "load_partition", "save_plan", "load_plan"]
@@ -51,10 +62,10 @@ def _read_header(z, path) -> dict:
     try:
         header = json.loads(bytes(z["header"].tobytes()).decode())
     except (KeyError, json.JSONDecodeError) as exc:
-        raise ReproError(f"not a repro save file: {path}") from exc
+        raise SerializationError(f"not a repro save file: {path}") from exc
     version = header.get("version")
     if version not in SUPPORTED_VERSIONS:
-        raise ReproError(
+        raise SerializationError(
             f"unsupported save format version {version!r} in {path}; "
             f"this build supports versions {list(SUPPORTED_VERSIONS)}"
         )
@@ -65,7 +76,7 @@ def _check_payload(header: dict, expected: str, path, hint: str) -> None:
     # Version-1 files predate the payload tag and are always partitions.
     payload = header.get("payload", _PARTITION)
     if payload != expected:
-        raise ReproError(
+        raise SerializationError(
             f"{path} holds a {payload!r} save, not a {expected!r}; use {hint}"
         )
 
@@ -128,12 +139,40 @@ def save_plan(plan, path) -> None:
     np.savez_compressed(os.fspath(path), header=_pack_header(header), **arrays)
 
 
-def load_plan(path):
-    """Read a compiled plan written by :func:`save_plan`."""
+def load_plan(path, *, verify: bool = True):
+    """Read a compiled plan written by :func:`save_plan`.
+
+    By default the reconstructed plan is run through the static plan-IR
+    checker; any violation (out-of-bounds index arrays, inconsistent
+    group plans, a tampered ledger…) raises
+    :class:`~repro.errors.SerializationError` naming the failed
+    invariants.  ``verify=False`` skips the check for trusted
+    round-trips.
+    """
     from repro.runtime.plan import CommPlan
 
     with np.load(os.fspath(path)) as z:
         header = _read_header(z, path)
         _check_payload(header, _PLAN, path, "load_partition for partitions")
         arrays = {name: z[name] for name in z.files if name != "header"}
-    return CommPlan.from_state(header, arrays)
+    try:
+        plan = CommPlan.from_state(header, arrays)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        # Structurally broken state (missing arrays, bad dtypes) dies
+        # inside from_state before the checker can even run.
+        raise SerializationError(
+            f"{path} does not decode to a compiled plan: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    if verify:
+        from repro.verify import check_plan
+
+        report = check_plan(plan)
+        if not report.ok:
+            raise SerializationError(
+                f"{path} failed plan verification (pass verify=False only "
+                f"for trusted files):\n{report.summary()}"
+            )
+    return plan

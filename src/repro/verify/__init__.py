@@ -1,0 +1,65 @@
+"""Static verification layer: prove properties without executing.
+
+The repository's correctness story was, until this package, entirely
+dynamic — golden bit-identity tests and serial replays.  This package
+adds the *static* half, aimed at the three artifacts whose integrity
+everything else rests on:
+
+- :mod:`repro.verify.plan_checks` — the plan-IR checker: given a
+  compiled :class:`~repro.runtime.CommPlan` (and optionally its
+  :func:`~repro.runtime.compile.shard_plan` output), prove that every
+  gather/scatter/expand/fold index array is in-bounds for its declared
+  buffer, that owned-row sets are disjoint and covering, that send
+  slots are pair-contiguous and reconcile exactly against
+  ``ledger.phase_pairs``, that group-sum structures are monotone, and
+  that the superstep schedule is statically deadlock-free;
+- :mod:`repro.verify.protocol` — an explicit finite-state model of the
+  coordinator-mediated go/done semaphore superstep protocol
+  (:mod:`repro.runtime.parallel`), exhaustively enumerated for small
+  worker counts including crash and worker-raise faults, proving no
+  reachable deadlock and that every failure path reaches segment
+  unlinking — plus a barrier-based contrast model whose deadlock the
+  checker *finds*, turning the "``mp.Barrier`` is unusable with dead
+  peers" prose argument into a checked artifact;
+- :mod:`repro.verify.lint` — a stdlib-``ast`` lint over ``src/``
+  encoding the repository's invariant-policy boundaries (accumulation
+  primitives confined to kernel layers, no barrier/condition sync
+  primitives, shared-memory creation paired with registered
+  finalizers, environment reads confined to resolver modules, …).
+
+Everything surfaces through the CLI ``check`` subcommand, the
+``verify=`` hooks on :meth:`repro.engine.PartitionEngine.compiled_plan`
+and :func:`repro.partition.serialize.load_plan`, and the ``check``
+pytest tier.
+"""
+
+from repro.verify.lint import LintViolation, lint_paths, lint_source, run_lint
+from repro.verify.plan_checks import (
+    VerifyReport,
+    Violation,
+    check_plan,
+    check_shards,
+    verify_plan,
+)
+from repro.verify.protocol import (
+    BarrierModel,
+    ProtocolModel,
+    ProtocolReport,
+    check_protocol,
+)
+
+__all__ = [
+    "BarrierModel",
+    "LintViolation",
+    "ProtocolModel",
+    "ProtocolReport",
+    "VerifyReport",
+    "Violation",
+    "check_plan",
+    "check_protocol",
+    "check_shards",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+    "verify_plan",
+]

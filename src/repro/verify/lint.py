@@ -1,0 +1,316 @@
+"""Project lint: the repository's invariant boundaries as AST rules.
+
+Several of the repo's correctness arguments are *policy* rather than
+code — "accumulation primitives live only in kernel-bearing layers",
+"never synchronize the pool with a barrier", "every shared segment has
+a registered finalizer".  Those hold today because the relevant PRs
+were careful, but nothing stops a future change from violating them
+silently.  This module encodes each policy as a rule over the stdlib
+:mod:`ast` (no third-party lint framework) and runs the set over
+``src/`` as a tier-1 test.
+
+Rules
+-----
+``REP001`` **accumulation-boundary** — ``np.add.at`` / ``np.bincount``
+    calls are confined to the kernel-bearing layers (``core``, ``dm``,
+    ``hypergraph``, ``kernels``, ``native``, ``partition``,
+    ``runtime``, ``simulate``, ``sparse``, ``verify``).  Orchestration
+    layers (``engine``, ``sweep``, ``experiments``, ``generators``,
+    the top-level modules) must route numeric accumulation through
+    those layers, so every accumulate that can affect bit-identity is
+    auditable in one place.
+``REP002`` **no-barrier-sync** — no use or import of
+    ``multiprocessing``/``threading`` ``Barrier`` or ``Condition``
+    anywhere.  Both block *inside* their protocol waiting for dead
+    peers (see :mod:`repro.runtime.parallel`), so one SIGKILLed worker
+    deadlocks the pool; the semaphore protocol is the only sanctioned
+    synchronization, and :mod:`repro.verify.protocol` proves why.
+``REP003`` **finalized-shm** — a module calling
+    ``SharedMemory(create=True)`` must also register a
+    ``weakref.finalize`` teardown, so segment unlinking survives any
+    exit path (the ``/dev/shm`` leak guard's static half).
+``REP004`` **env-via-resolvers** — ``os.environ`` / ``os.getenv``
+    access is confined to the resolver modules (``native/build.py``,
+    ``experiments/config.py``).  Scattered env reads make runs
+    irreproducible in ways no config dump captures.
+``REP005`` **no-mutable-default** — no mutable default arguments
+    (list/dict/set displays or constructor calls): defaults evaluate
+    once and alias across calls.
+``REP006`` **no-bare-except** — no bare ``except:``; it swallows
+    ``KeyboardInterrupt``/``SystemExit`` and hides worker teardown
+    bugs.  (``except BaseException`` is allowed where intentional —
+    the worker main loop reraises-or-posts explicitly.)
+``REP007`` **native-layering** — :mod:`repro.native` must not import
+    ``repro.runtime`` / ``repro.engine`` / ``repro.sweep``: the kernel
+    backend is a leaf the runtime depends on, never the reverse
+    (cycles there would break the pre-fork library-load contract).
+
+Each violation carries its rule ID; suppressing one requires editing
+the rule's allowlist here — visible in review — rather than a magic
+comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["LintViolation", "RULES", "lint_paths", "lint_source", "run_lint"]
+
+#: rule id → (summary, rationale) — the catalog DESIGN.md renders.
+RULES: dict[str, tuple[str, str]] = {
+    "REP001": (
+        "accumulation primitives confined to kernel-bearing layers",
+        "every np.add.at/np.bincount that can affect bit-identity must be "
+        "auditable in the numeric layers, not scattered in orchestration",
+    ),
+    "REP002": (
+        "no multiprocessing/threading Barrier or Condition",
+        "both block waiting for dead peers; one SIGKILL deadlocks the pool "
+        "(model-checked in repro.verify.protocol)",
+    ),
+    "REP003": (
+        "SharedMemory(create=True) requires a weakref.finalize in the module",
+        "segment unlinking must survive every exit path, not just the happy one",
+    ),
+    "REP004": (
+        "os.environ/os.getenv only in resolver modules",
+        "scattered env reads make runs irreproducible invisibly",
+    ),
+    "REP005": (
+        "no mutable default arguments",
+        "defaults evaluate once and alias across calls",
+    ),
+    "REP006": (
+        "no bare except",
+        "swallows KeyboardInterrupt/SystemExit and hides teardown bugs",
+    ),
+    "REP007": (
+        "repro.native must not import runtime/engine/sweep",
+        "the kernel backend is a leaf; cycles break the pre-fork load contract",
+    ),
+}
+
+# First path segment (relative to the repro package) of the layers
+# allowed to call accumulation primitives.
+_ACCUM_LAYERS = frozenset(
+    {"core", "dm", "hypergraph", "kernels", "native", "partition",
+     "runtime", "simulate", "sparse", "verify"}
+)
+_ENV_MODULES = frozenset({"native/build.py", "experiments/config.py"})
+_BANNED_SYNC = frozenset({"Barrier", "Condition"})
+_SYNC_MODULES = ("multiprocessing", "threading")
+_NATIVE_FORBIDDEN = ("repro.runtime", "repro.engine", "repro.sweep")
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict"})
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel: str):
+        self.rel = rel
+        self.layer = rel.split("/", 1)[0] if "/" in rel else ""
+        self.out: list[LintViolation] = []
+        self.env_names: set[str] = set()  # names bound to os.environ/getenv
+        self.sync_names: set[str] = set()  # Barrier/Condition imported directly
+        self.has_finalize = False
+        self.shm_creates: list[int] = []
+
+    def flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.out.append(
+            LintViolation(rule, self.rel, getattr(node, "lineno", 0), message)
+        )
+
+    # ------------------------------------------------------------- imports
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.rel.startswith("native/"):
+            for a in node.names:
+                if a.name.startswith(_NATIVE_FORBIDDEN):
+                    self.flag("REP007", node, f"native layer imports {a.name}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if mod.startswith(_SYNC_MODULES):
+            for a in node.names:
+                if a.name in _BANNED_SYNC:
+                    self.flag("REP002", node, f"imports {mod}.{a.name}")
+                    self.sync_names.add(a.asname or a.name)
+        if mod == "os":
+            for a in node.names:
+                if a.name in ("environ", "getenv") and not self._env_allowed():
+                    self.flag("REP004", node, f"imports os.{a.name}")
+        if mod == "weakref":
+            if any(a.name == "finalize" for a in node.names):
+                self.has_finalize = True
+        if self.rel.startswith("native/") and mod.startswith(_NATIVE_FORBIDDEN):
+            self.flag("REP007", node, f"native layer imports from {mod}")
+        self.generic_visit(node)
+
+    # --------------------------------------------------------------- calls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name:
+            self._check_accumulation(node, name)
+            base = name.split(".", 1)[0]
+            if name.endswith(".finalize") and base == "weakref":
+                self.has_finalize = True
+            if name == "os.getenv" and not self._env_allowed():
+                self.flag("REP004", node, f"environment read via {name}")
+            if name == "SharedMemory" or name.endswith(".SharedMemory"):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "create"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        self.shm_creates.append(node.lineno)
+        self.generic_visit(node)
+
+    def _check_accumulation(self, node: ast.Call, name: str) -> None:
+        base = name.split(".", 1)[0]
+        is_accum = (
+            base in ("np", "numpy")
+            and (name.endswith(".add.at") or name.endswith(".bincount"))
+        ) or name in ("bincount",)
+        if is_accum and self.layer not in _ACCUM_LAYERS:
+            self.flag(
+                "REP001",
+                node,
+                f"accumulation primitive {name} outside kernel-bearing layers",
+            )
+
+    # ---------------------------------------------------------- attributes
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _BANNED_SYNC:
+            # Any ctx-like object: mp.Barrier, ctx.Condition, threading.…
+            self.flag("REP002", node, f"use of {_dotted(node) or node.attr}")
+        if node.attr == "environ":
+            name = _dotted(node)
+            if name == "os.environ" and not self._env_allowed():
+                self.flag("REP004", node, "direct os.environ access")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in self.sync_names and isinstance(node.ctx, ast.Load):
+            self.flag("REP002", node, f"use of imported {node.id}")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ defaults
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for d in defaults:
+            bad = isinstance(d, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                 ast.DictComp, ast.SetComp))
+            if isinstance(d, ast.Call):
+                ctor = _dotted(d.func)
+                bad = ctor is not None and ctor.split(".")[-1] in _MUTABLE_CTORS
+            if bad:
+                self.flag(
+                    "REP005",
+                    d,
+                    f"mutable default argument in {node.name}()",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------- excepts
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.flag("REP006", node, "bare except")
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- helpers
+
+    def _env_allowed(self) -> bool:
+        return self.rel in _ENV_MODULES
+
+
+def lint_source(source: str, rel: str) -> list[LintViolation]:
+    """Lint one module's source.
+
+    ``rel`` is the path relative to the ``repro`` package root with
+    POSIX separators (e.g. ``"native/build.py"``); the allowlists key
+    on it.  A syntax error is itself reported as a violation (rule
+    ``REP000``) rather than raised — the linter must never crash on
+    the tree it audits.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            LintViolation("REP000", rel, exc.lineno or 0, f"syntax error: {exc.msg}")
+        ]
+    v = _Visitor(rel)
+    v.visit(tree)
+    if v.shm_creates and not v.has_finalize:
+        for line in v.shm_creates:
+            v.out.append(
+                LintViolation(
+                    "REP003",
+                    rel,
+                    line,
+                    "SharedMemory(create=True) without a weakref.finalize "
+                    "registered in this module",
+                )
+            )
+    return sorted(v.out, key=lambda x: (x.path, x.line, x.rule))
+
+
+def lint_paths(paths, root: Path) -> list[LintViolation]:
+    """Lint explicit files; ``root`` is the ``repro`` package directory
+    the allowlist-relative paths are computed against."""
+    out: list[LintViolation] = []
+    for p in paths:
+        p = Path(p)
+        try:
+            rel = p.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            rel = p.name
+        out.extend(lint_source(p.read_text(encoding="utf-8"), rel))
+    return out
+
+
+def run_lint(root: Path | str | None = None) -> list[LintViolation]:
+    """Lint every ``*.py`` under the ``repro`` package (or ``root``)."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    root = Path(root)
+    return lint_paths(sorted(root.rglob("*.py")), root)

@@ -1,0 +1,466 @@
+"""Exhaustive model checker for the superstep semaphore protocol.
+
+:mod:`repro.runtime.parallel` synchronizes its worker pool with a
+coordinator-mediated gate: one private ``go`` semaphore per worker, one
+shared ``done`` ack, a shared control word for STOP/error flags, and a
+bounded coordinator wait whose timeout is the only thing that notices a
+SIGKILLed worker.  The module docstring *argues* this protocol cannot
+deadlock — semaphore releases never block, a dead worker merely fails
+to ack, and the timeout path unlinks every shared segment.  This module
+turns that prose argument into a checked artifact.
+
+:class:`ProtocolModel` is an explicit finite-state machine over the
+protocol's synchronization skeleton (numeric work is abstracted away —
+it cannot affect synchronization).  A state records the coordinator's
+phase, the remaining superstep budget, each worker's control location
+(``wait`` on its go semaphore, ``run``-ning a step, ``exited``,
+``crashed``), the semaphore counters, the shared error/STOP words, a
+fault budget, and whether the shared segments are still linked.  The
+transition relation interleaves:
+
+- the coordinator issuing a round of ``go`` tokens, collecting ``done``
+  acks one at a time, checking the error word at the step boundary,
+  timing out (enabled exactly when no future ack is possible: the ack
+  count is zero, no worker is mid-step, and no waiting worker holds a
+  token — the model of "timeout set above the slowest superstep"),
+  failing (terminate + unlink, mirroring ``_fail`` → ``close`` →
+  ``_reap``), and closing gracefully (STOP + token round + join, with
+  the always-enabled forced join modelling ``join(timeout)`` plus the
+  ``weakref.finalize`` reaper);
+- each worker consuming a token (then exiting on STOP or running a
+  step), acking, **raising** (posting the error word and acking before
+  exit, as ``_worker_main`` does), or **crashing** (SIGKILL: vanishing
+  with no ack, from either control location), the fault transitions
+  drawing on a shared budget.
+
+:func:`check_protocol` enumerates the full reachable state space for
+2–4 workers across all execution models' superstep counts and fault
+budgets 0..max and asserts, over *every* reachable state:
+
+1. **deadlock-freedom** — every non-terminal state has at least one
+   enabled transition;
+2. **cleanup** — every terminal state has the shared segments unlinked
+   and every worker dead (exited or terminated);
+3. **progress** — every reachable state (in particular every state
+   with the error word set or a crashed worker) has a path to a
+   terminal state;
+4. **fault-free soundness** — with a zero fault budget every run
+   completes its full superstep budget and ends in the clean terminal.
+
+:class:`BarrierModel` is the contrast experiment: the same worker pool
+synchronized by an (N+1)-party barrier, the design ``parallel.py``
+rejects.  The checker *finds* its deadlock — with one crash fault the
+barrier can never trip again and the model reaches a state with no
+enabled transitions — so the "``mp.Barrier`` is unusable with dead
+peers" claim is itself machine-checked rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.errors import VerificationError
+
+__all__ = ["BarrierModel", "ProtocolModel", "ProtocolReport", "check_protocol"]
+
+_RUN, _STOP = 0, 1
+_DEAD = ("exited", "crashed")
+
+
+class _State(NamedTuple):
+    """One global state of the semaphore protocol FSM."""
+
+    coord: str  # issue | collect | join | end-clean | end-failed
+    steps_left: int
+    acks_left: int
+    cmd: int  # _RUN | _STOP
+    err: bool
+    done: int  # shared done-semaphore counter
+    go: tuple  # per-worker go-semaphore counters
+    workers: tuple  # per-worker location: wait | run | exited | crashed
+    faults: int
+    segments: str  # linked | unlinked
+
+
+def _terminated(s: _State, coord: str) -> _State:
+    """The atomic teardown: terminate every live worker, unlink all
+    segments (``_reap``), land in a terminal coordinator state."""
+    workers = tuple(w if w in _DEAD else "crashed" for w in s.workers)
+    return s._replace(
+        coord=coord,
+        done=0,
+        go=tuple(0 for _ in s.go),
+        workers=workers,
+        segments="unlinked",
+    )
+
+
+class ProtocolModel:
+    """The go/done semaphore superstep protocol as an explicit FSM.
+
+    Parameters
+    ----------
+    nworkers:
+        Pool size (the model's ``jobs``).
+    nsteps:
+        Supersteps per apply — 2 for the ``single`` execution model,
+        3 for ``two``/``routed``.
+    niters:
+        Applies to run back-to-back; the total go-round budget is
+        ``nsteps * niters`` (the worker's internal mod-``nsteps``
+        counter does not influence synchronization, so it is not
+        modelled).
+    max_faults:
+        Total budget of fault transitions (worker-raises + crashes)
+        available across a run.
+    """
+
+    name = "semaphore"
+
+    def __init__(self, nworkers: int, nsteps: int, *, niters: int = 1, max_faults: int = 0):
+        if nworkers < 1 or nsteps < 1 or niters < 1 or max_faults < 0:
+            raise VerificationError(
+                f"bad protocol model shape: workers={nworkers} steps={nsteps} "
+                f"iters={niters} faults={max_faults}"
+            )
+        self.nworkers = nworkers
+        self.nsteps = nsteps
+        self.niters = niters
+        self.max_faults = max_faults
+
+    def initial(self) -> _State:
+        return _State(
+            coord="issue",
+            steps_left=self.nsteps * self.niters,
+            acks_left=0,
+            cmd=_RUN,
+            err=False,
+            done=0,
+            go=(0,) * self.nworkers,
+            workers=("wait",) * self.nworkers,
+            faults=0,
+            segments="linked",
+        )
+
+    def is_terminal(self, s: _State) -> bool:
+        return s.coord in ("end-clean", "end-failed")
+
+    def successors(self, s: _State) -> list[_State]:
+        out: list[_State] = []
+        if self.is_terminal(s):
+            return out
+
+        # ---- coordinator ------------------------------------------------
+        if s.coord == "issue":
+            go = tuple(g + 1 for g in s.go)  # release never blocks
+            if s.steps_left > 0:
+                out.append(s._replace(coord="collect", acks_left=self.nworkers, go=go))
+            else:
+                # close(): set STOP, wake the pool, join.
+                out.append(s._replace(coord="join", cmd=_STOP, go=go))
+        elif s.coord == "collect":
+            if s.done > 0:
+                if s.acks_left == 1:
+                    # Last ack of the step: the error word is checked at
+                    # the step boundary.
+                    if s.err:
+                        out.append(_terminated(s, "end-failed"))
+                    else:
+                        out.append(
+                            s._replace(
+                                coord="issue",
+                                done=s.done - 1,
+                                acks_left=0,
+                                steps_left=s.steps_left - 1,
+                            )
+                        )
+                else:
+                    out.append(s._replace(done=s.done - 1, acks_left=s.acks_left - 1))
+            # Timeout: with the bound set above the slowest superstep, a
+            # timeout fires exactly when no further ack is possible — no
+            # pending ack, nobody mid-step, no waiting worker holding an
+            # unconsumed token.
+            if s.done == 0 and all(
+                w in _DEAD or (w == "wait" and g == 0)
+                for w, g in zip(s.workers, s.go)
+            ):
+                out.append(_terminated(s, "end-failed"))
+        elif s.coord == "join":
+            # join(timeout) + the finalize reaper: always eventually
+            # enabled regardless of worker cooperation.
+            out.append(_terminated(s, "end-clean"))
+
+        # ---- workers ----------------------------------------------------
+        for i, (w, g) in enumerate(zip(s.workers, s.go)):
+            if w == "wait" and g > 0:
+                go = s.go[:i] + (g - 1,) + s.go[i + 1 :]
+                loc = "exited" if s.cmd == _STOP else "run"
+                out.append(self._with_worker(s, i, loc)._replace(go=go))
+            if w == "run":
+                # Normal step completion: ack and wait for the next token.
+                out.append(self._with_worker(s, i, "wait")._replace(done=s.done + 1))
+                if s.faults < self.max_faults:
+                    # Worker raises: post error word, ack, exit — the
+                    # ``_post_error`` + ``done.release()`` + break path.
+                    out.append(
+                        self._with_worker(s, i, "exited")._replace(
+                            done=s.done + 1, err=True, faults=s.faults + 1
+                        )
+                    )
+            if w in ("wait", "run") and s.faults < self.max_faults:
+                # SIGKILL: vanish without an ack, token unconsumed.
+                out.append(
+                    self._with_worker(s, i, "crashed")._replace(faults=s.faults + 1)
+                )
+        return out
+
+    @staticmethod
+    def _with_worker(s: _State, i: int, loc: str) -> _State:
+        return s._replace(workers=s.workers[:i] + (loc,) + s.workers[i + 1 :])
+
+    # ------------------------------------------------------------ checking
+
+    def explore(self):
+        """Full reachable state space: ``(states, successor map)``."""
+        init = self.initial()
+        seen = {init}
+        frontier = [init]
+        succ: dict[_State, list[_State]] = {}
+        while frontier:
+            s = frontier.pop()
+            nxt = self.successors(s)
+            succ[s] = nxt
+            for t in nxt:
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+        return seen, succ
+
+    def check(self) -> "ProtocolReport":
+        """Enumerate exhaustively and evaluate properties 1–4."""
+        states, succ = self.explore()
+        terminals = {s for s in states if self.is_terminal(s)}
+        deadlocks = [s for s in states if s not in terminals and not succ[s]]
+
+        unclean = [
+            s
+            for s in terminals
+            if s.segments != "unlinked" or any(w not in _DEAD for w in s.workers)
+        ]
+
+        # Progress: backward reachability from the terminal set.
+        pred: dict[_State, list[_State]] = {s: [] for s in states}
+        for s, nxt in succ.items():
+            for t in nxt:
+                pred[t].append(s)
+        can_finish = set(terminals)
+        stack = list(terminals)
+        while stack:
+            t = stack.pop()
+            for p in pred[t]:
+                if p not in can_finish:
+                    can_finish.add(p)
+                    stack.append(p)
+        stuck = [s for s in states if s not in can_finish]
+
+        bad_clean = []
+        if self.max_faults == 0:
+            bad_clean = [
+                s
+                for s in terminals
+                if s.coord != "end-clean" or s.steps_left != 0 or s.err
+            ]
+
+        return ProtocolReport(
+            model=self.name,
+            nworkers=self.nworkers,
+            nsteps=self.nsteps,
+            niters=self.niters,
+            max_faults=self.max_faults,
+            nstates=len(states),
+            nterminals=len(terminals),
+            deadlocks=deadlocks,
+            unclean_terminals=unclean,
+            nonprogressing=stuck,
+            bad_faultfree_terminals=bad_clean,
+        )
+
+
+class _BState(NamedTuple):
+    steps_left: int
+    arrived: tuple  # per-worker bool
+    coord_arrived: bool
+    workers: tuple  # alive | crashed
+    faults: int
+
+
+class BarrierModel:
+    """The rejected design: the same pool on an (N+1)-party barrier.
+
+    Every superstep, all ``nworkers`` workers and the coordinator call
+    ``barrier.wait()``; the barrier trips only when all N+1 parties
+    have arrived.  A crashed worker never arrives, so one SIGKILL
+    freezes every surviving party inside ``wait()`` — with no timeout
+    there is no transition out, which the checker reports as a
+    reachable deadlock.  ``check()`` on this model is expected to
+    *fail* for any positive fault budget; the test suite asserts
+    exactly that asymmetry against :class:`ProtocolModel`.
+    """
+
+    name = "barrier"
+
+    def __init__(self, nworkers: int, nsteps: int, *, max_faults: int = 0):
+        self.nworkers = nworkers
+        self.nsteps = nsteps
+        self.max_faults = max_faults
+
+    def initial(self) -> _BState:
+        return _BState(
+            steps_left=self.nsteps,
+            arrived=(False,) * self.nworkers,
+            coord_arrived=False,
+            workers=("alive",) * self.nworkers,
+            faults=0,
+        )
+
+    def is_terminal(self, s: _BState) -> bool:
+        return s.steps_left == 0
+
+    def successors(self, s: _BState) -> list[_BState]:
+        out: list[_BState] = []
+        if self.is_terminal(s):
+            return out
+        if all(s.arrived) and s.coord_arrived:
+            # Barrier trips: all N+1 parties released into the next step.
+            out.append(
+                s._replace(
+                    steps_left=s.steps_left - 1,
+                    arrived=(False,) * self.nworkers,
+                    coord_arrived=False,
+                )
+            )
+            return out
+        if not s.coord_arrived:
+            out.append(s._replace(coord_arrived=True))
+        for i, (a, w) in enumerate(zip(s.arrived, s.workers)):
+            if w != "alive" or a:
+                continue
+            out.append(
+                s._replace(arrived=s.arrived[:i] + (True,) + s.arrived[i + 1 :])
+            )
+            if s.faults < self.max_faults:
+                out.append(
+                    s._replace(
+                        workers=s.workers[:i] + ("crashed",) + s.workers[i + 1 :],
+                        faults=s.faults + 1,
+                    )
+                )
+        return out
+
+    def check(self) -> "ProtocolReport":
+        seen = {self.initial()}
+        frontier = [self.initial()]
+        deadlocks = []
+        while frontier:
+            s = frontier.pop()
+            nxt = self.successors(s)
+            if not nxt and not self.is_terminal(s):
+                deadlocks.append(s)
+            for t in nxt:
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+        return ProtocolReport(
+            model=self.name,
+            nworkers=self.nworkers,
+            nsteps=self.nsteps,
+            niters=1,
+            max_faults=self.max_faults,
+            nstates=len(seen),
+            nterminals=sum(1 for s in seen if self.is_terminal(s)),
+            deadlocks=deadlocks,
+            unclean_terminals=[],
+            nonprogressing=deadlocks,
+            bad_faultfree_terminals=[],
+        )
+
+
+@dataclass
+class ProtocolReport:
+    """Outcome of one exhaustive enumeration."""
+
+    model: str
+    nworkers: int
+    nsteps: int
+    niters: int
+    max_faults: int
+    nstates: int
+    nterminals: int
+    deadlocks: list = field(default_factory=list)
+    unclean_terminals: list = field(default_factory=list)
+    nonprogressing: list = field(default_factory=list)
+    bad_faultfree_terminals: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.deadlocks
+            or self.unclean_terminals
+            or self.nonprogressing
+            or self.bad_faultfree_terminals
+        )
+
+    def summary(self) -> str:
+        head = (
+            f"{self.model}[W={self.nworkers}, steps={self.nsteps}x{self.niters}, "
+            f"faults<={self.max_faults}]: {self.nstates} states, "
+            f"{self.nterminals} terminal"
+        )
+        if self.ok:
+            return head + " — OK"
+        parts = []
+        if self.deadlocks:
+            parts.append(f"{len(self.deadlocks)} deadlock state(s)")
+        if self.unclean_terminals:
+            parts.append(f"{len(self.unclean_terminals)} terminal(s) without cleanup")
+        if self.nonprogressing:
+            parts.append(f"{len(self.nonprogressing)} state(s) cannot reach a terminal")
+        if self.bad_faultfree_terminals:
+            parts.append(
+                f"{len(self.bad_faultfree_terminals)} fault-free run(s) "
+                "ended abnormally"
+            )
+        return head + " — FAIL: " + "; ".join(parts)
+
+
+def check_protocol(
+    *,
+    workers: tuple = (2, 3, 4),
+    nsteps: tuple = (2, 3),
+    max_faults: int = 1,
+    niters: int = 2,
+    raise_on_error: bool = True,
+) -> list[ProtocolReport]:
+    """Exhaustively verify the semaphore protocol across configurations.
+
+    Enumerates :class:`ProtocolModel` for every worker count in
+    ``workers`` × every superstep count in ``nsteps`` × every fault
+    budget in ``0..max_faults``, running ``niters`` applies back to
+    back.  Raises :class:`~repro.errors.VerificationError` listing every
+    failing configuration unless ``raise_on_error=False``.
+    """
+    reports = [
+        ProtocolModel(w, n, niters=niters, max_faults=f).check()
+        for w in workers
+        for n in nsteps
+        for f in range(max_faults + 1)
+    ]
+    if raise_on_error:
+        bad = [r for r in reports if not r.ok]
+        if bad:
+            raise VerificationError(
+                "protocol model check failed:\n"
+                + "\n".join("  " + r.summary() for r in bad)
+            )
+    return reports

@@ -1,0 +1,227 @@
+"""Sanitizer-built native kernels and the ctypes pre-call bounds guard.
+
+The ASan runtime reads its options from the *exec-time* environment, so
+the sanitized variant is exercised in child interpreters launched with
+``ASAN_OPTIONS`` preconfigured (the in-process load path refuses with a
+recorded reason instead — also pinned here).  Where the toolchain can
+build but not load the sanitized library, the tests skip with the
+recorded reason rather than fail.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.native.build as native_build
+from repro.errors import ConfigError, VerificationError
+from repro.native import (
+    DEBUG_ENV,
+    SANITIZE_ENV,
+    debug_bounds_enabled,
+    find_compiler,
+    get_kernels,
+    ops,
+    sanitize_default,
+)
+from repro.native.build import _asan_preconfigured, _reset_native_state
+
+HAVE_CC = find_compiler() is not None
+
+_CHILD_ENV_BASE = {
+    "ASAN_OPTIONS": native_build._ASAN_OPTIONS,
+    SANITIZE_ENV: "1",
+    "PYTHONPATH": "src",
+}
+
+
+def _run_child(code: str, *, preload_asan: bool = False) -> subprocess.CompletedProcess:
+    """Run ``code`` in a fresh interpreter with ASan preconfigured.
+
+    ``preload_asan=True`` additionally LD_PRELOADs the ASan runtime so
+    its malloc interceptors wrap NumPy's allocations — required for
+    redzone detection around buffers allocated outside instrumented
+    code (a late-dlopen'd runtime cannot retrofit interception).
+    """
+    env = {**os.environ, **_CHILD_ENV_BASE}
+    if preload_asan:
+        env["LD_PRELOAD"] = _libasan()
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+
+
+def _libasan() -> str | None:
+    """Path to the compiler's ASan runtime .so, or None."""
+    cc = find_compiler()
+    if cc is None:
+        return None
+    try:
+        out = subprocess.run(
+            [cc, "-print-file-name=libasan.so"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        ).stdout.strip()
+    except OSError:
+        return None
+    path = os.path.realpath(out)
+    return path if out and os.path.exists(path) else None
+
+
+def _skip_if_unloadable(proc: subprocess.CompletedProcess) -> None:
+    if "SKIP-NATIVE:" in proc.stdout:
+        reason = proc.stdout.split("SKIP-NATIVE:", 1)[1].strip()
+        pytest.skip(f"sanitized kernels unavailable: {reason}")
+
+
+_GOLDEN_CHILD = """
+import numpy as np
+from repro.native import build
+
+lib = build.get_kernels()
+if lib is None:
+    print("SKIP-NATIVE:", build.native_status()["sanitize_reason"])
+    raise SystemExit(0)
+st = build.native_status()
+assert st["variant"] == "sanitize", st
+
+import scipy.sparse as sp
+from repro.engine import PartitionEngine
+from repro.sparse.coo import canonical_coo
+
+a = canonical_coo(sp.random(60, 60, density=0.1, random_state=3, format="coo"))
+eng = PartitionEngine(a, seed=11)
+rng = np.random.default_rng(44)
+for method in ("1d-rowwise", "s2d-heuristic"):
+    plan = eng.compiled_plan(eng.plan(method, 3), verify=True)
+    x = rng.standard_normal(plan.ncols)
+    assert np.array_equal(
+        plan.apply_y(x, backend="numpy"), plan.apply_y(x, backend="native")
+    ), method
+    xs = rng.standard_normal((plan.ncols, 4))
+    assert np.array_equal(
+        plan.apply_many(xs, backend="numpy"), plan.apply_many(xs, backend="native")
+    ), method
+eng.shutdown()
+print("OK-SANITIZED-GOLDEN")
+"""
+
+_OOB_CHILD = """
+import numpy as np
+from repro.native import build, ops
+
+lib = build.get_kernels()
+if lib is None:
+    print("SKIP-NATIVE:", build.native_status()["sanitize_reason"])
+    raise SystemExit(0)
+# One past the output buffer: lands in the ASan redzone, not in some
+# unrelated mapping a huge offset might silently hit.
+rows = np.array([0, 1, 4], dtype=np.int64)
+vals = np.ones(3)
+ops.scatter_sum(lib, rows, vals, nrows=4)  # debug guard off: raw C loop
+print("UNREACHABLE")  # the sanitizer must abort before this line
+"""
+
+
+@pytest.mark.native
+@pytest.mark.sanitize
+def test_sanitized_kernels_pass_golden_applies():
+    """The ASan/UBSan build variant is bit-identical to NumPy on full
+    plan applies (single and s2D models, one and many right-hand
+    sides), run in a child with the sanitizer runtime active."""
+    proc = _run_child(_GOLDEN_CHILD)
+    _skip_if_unloadable(proc)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "OK-SANITIZED-GOLDEN" in proc.stdout
+
+
+@pytest.mark.native
+@pytest.mark.sanitize
+def test_sanitizer_catches_out_of_bounds_write():
+    """Negative control: an intentionally out-of-bounds scatter through
+    the raw C loop must make the sanitized child die loudly instead of
+    corrupting memory — proof the instrumentation is actually live."""
+    if _libasan() is None:
+        pytest.skip("cannot locate the ASan runtime for LD_PRELOAD")
+    proc = _run_child(_OOB_CHILD, preload_asan=True)
+    _skip_if_unloadable(proc)
+    assert proc.returncode != 0
+    assert "AddressSanitizer" in proc.stderr, proc.stderr[-500:]
+    assert "UNREACHABLE" not in proc.stdout
+
+
+@pytest.mark.native
+@pytest.mark.sanitize
+def test_in_process_sanitize_load_refused_without_exec_env(monkeypatch):
+    """Without ASAN_OPTIONS at interpreter startup the sanitized .so
+    cannot be dlopen'd safely; get_kernels(sanitize=True) must record a
+    reason and return None instead of aborting the process."""
+    if _asan_preconfigured():
+        pytest.skip("interpreter already started with ASan options")
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    _reset_native_state()
+    try:
+        lib = get_kernels(sanitize=True)
+        reason = native_build.native_status()["sanitize_reason"]
+        if lib is None and reason and "ASAN_OPTIONS" not in reason:
+            pytest.skip(f"toolchain cannot build ASan: {reason}")
+        assert lib is None
+        assert "ASAN_OPTIONS" in reason
+        # The std variant stays available alongside the refused one.
+        assert get_kernels(sanitize=False) is not None
+    finally:
+        _reset_native_state()
+
+
+# ----------------------------------------------------------------------
+# Debug-mode ctypes bounds validator (pure Python, no compiler needed)
+# ----------------------------------------------------------------------
+
+
+def test_validate_rejects_out_of_bounds_and_size_mismatch():
+    rows = np.array([0, 1, 3], dtype=np.int64)
+    ops._validate("scatter_sum", 3, ("rows", rows, 4, 3))  # clean
+    with pytest.raises(VerificationError, match="outside"):
+        ops._validate("scatter_sum", 3, ("rows", rows, 3, 3))
+    with pytest.raises(VerificationError, match="scatter_sum"):
+        ops._validate("scatter_sum", 3, ("rows", rows, 4, 2))
+    with pytest.raises(VerificationError):
+        ops._validate("k", 1, ("idx", np.array([-1], dtype=np.int64), 4, 1))
+
+
+@pytest.mark.native
+def test_debug_guard_blocks_bad_indices_before_the_c_loop(monkeypatch):
+    lib = get_kernels()
+    if lib is None:
+        pytest.skip("native kernels unavailable")
+    monkeypatch.setenv(DEBUG_ENV, "1")
+    assert debug_bounds_enabled()
+    bad_rows = np.array([0, 1, 7], dtype=np.int64)
+    with pytest.raises(VerificationError, match="unchecked C loop"):
+        ops.scatter_sum(lib, bad_rows, np.ones(3), nrows=4)
+    # Valid input still goes through and stays bit-identical.
+    rows = np.array([0, 1, 3, 1], dtype=np.int64)
+    vals = np.array([1.5, 2.0, -0.5, 4.25])
+    got = ops.scatter_sum(lib, rows, vals, nrows=4)
+    ref = np.bincount(rows, weights=vals, minlength=4)
+    assert np.array_equal(got, ref)
+
+
+def test_env_flag_parsing(monkeypatch):
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    assert sanitize_default() is False
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    assert sanitize_default() is True
+    monkeypatch.setenv(SANITIZE_ENV, "yes")
+    with pytest.raises(ConfigError, match=SANITIZE_ENV):
+        sanitize_default()
+    monkeypatch.setenv(DEBUG_ENV, "0")
+    assert not debug_bounds_enabled()

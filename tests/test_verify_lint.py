@@ -1,0 +1,224 @@
+"""Project lint: every rule has a positive (violating snippet flagged)
+and a negative (compliant snippet clean) test, and — the tier-1 gate —
+``run_lint()`` over the shipped ``src/repro`` tree reports nothing.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.verify import lint_paths, lint_source, run_lint
+from repro.verify.lint import RULES
+
+pytestmark = pytest.mark.check
+
+
+def _rules(source, rel="engine/somewhere.py"):
+    """Rule IDs flagged for a dedented snippet at a synthetic path."""
+    return {v.rule for v in lint_source(textwrap.dedent(source), rel)}
+
+
+# ---------------------------------------------------------------- REP001
+
+
+def test_rep001_flags_accumulation_outside_kernel_layers():
+    src = """
+    import numpy as np
+
+    def tally(idx, vals, n):
+        np.add.at(out := np.zeros(n), idx, vals)
+        return np.bincount(idx, minlength=n), out
+    """
+    assert "REP001" in _rules(src, "engine/engine.py")
+    assert "REP001" in _rules(src, "sweep/driver.py")
+
+
+def test_rep001_allows_accumulation_in_kernel_layers():
+    src = """
+    import numpy as np
+
+    def tally(idx, vals, n):
+        np.add.at(out := np.zeros(n), idx, vals)
+        return np.bincount(idx, minlength=n), out
+    """
+    assert "REP001" not in _rules(src, "kernels/spmv.py")
+    assert "REP001" not in _rules(src, "runtime/apply.py")
+
+
+# ---------------------------------------------------------------- REP002
+
+
+def test_rep002_flags_barrier_and_condition():
+    assert "REP002" in _rules("from multiprocessing import Barrier\n")
+    assert "REP002" in _rules(
+        """
+        import multiprocessing as mp
+
+        def pool(n):
+            return mp.Barrier(n + 1)
+        """
+    )
+    assert "REP002" in _rules(
+        """
+        from threading import Condition as Cv
+
+        def gate():
+            return Cv()
+        """
+    )
+
+
+def test_rep002_allows_semaphores():
+    src = """
+    import multiprocessing as mp
+
+    def gate(ctx):
+        return ctx.Semaphore(0), mp.Semaphore(0)
+    """
+    assert "REP002" not in _rules(src)
+
+
+# ---------------------------------------------------------------- REP003
+
+
+def test_rep003_flags_unfinalized_shared_memory():
+    src = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def alloc(n):
+        return SharedMemory(create=True, size=n)
+    """
+    assert "REP003" in _rules(src, "runtime/segments.py")
+
+
+def test_rep003_allows_shared_memory_with_finalizer():
+    src = """
+    import weakref
+    from multiprocessing.shared_memory import SharedMemory
+
+    def alloc(n):
+        seg = SharedMemory(create=True, size=n)
+        weakref.finalize(seg, seg.unlink)
+        return seg
+    """
+    assert "REP003" not in _rules(src, "runtime/segments.py")
+    # Attaching (create absent/False) needs no finalizer.
+    assert "REP003" not in _rules(
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def attach(name):\n"
+        "    return SharedMemory(name=name)\n",
+        "runtime/segments.py",
+    )
+
+
+# ---------------------------------------------------------------- REP004
+
+
+def test_rep004_flags_env_reads_outside_resolvers():
+    assert "REP004" in _rules("import os\nV = os.getenv('REPRO_X')\n")
+    assert "REP004" in _rules("import os\nV = os.environ.get('REPRO_X')\n")
+    assert "REP004" in _rules("from os import environ\n")
+
+
+def test_rep004_allows_env_reads_in_resolver_modules():
+    src = "import os\nV = os.getenv('REPRO_X')\nW = os.environ.get('Y')\n"
+    assert "REP004" not in _rules(src, "native/build.py")
+    assert "REP004" not in _rules(src, "experiments/config.py")
+
+
+# ---------------------------------------------------------------- REP005
+
+
+def test_rep005_flags_mutable_defaults():
+    assert "REP005" in _rules("def f(xs=[]):\n    return xs\n")
+    assert "REP005" in _rules("def f(*, opts={'a': 1}):\n    return opts\n")
+    assert "REP005" in _rules("def f(seen=set()):\n    return seen\n")
+    assert "REP005" in _rules("def f(acc=list()):\n    return acc\n")
+
+
+def test_rep005_allows_immutable_defaults():
+    src = "def f(xs=(), name='x', n=0, opt=None, shape=(2, 3)):\n    return xs\n"
+    assert "REP005" not in _rules(src)
+
+
+# ---------------------------------------------------------------- REP006
+
+
+def test_rep006_flags_bare_except():
+    src = """
+    def f():
+        try:
+            return 1
+        except:
+            return 2
+    """
+    assert "REP006" in _rules(src)
+
+
+def test_rep006_allows_typed_except():
+    src = """
+    def f():
+        try:
+            return 1
+        except (ValueError, BaseException):
+            return 2
+    """
+    assert "REP006" not in _rules(src)
+
+
+# ---------------------------------------------------------------- REP007
+
+
+def test_rep007_flags_native_importing_runtime():
+    assert "REP007" in _rules("import repro.runtime.plan\n", "native/ops.py")
+    assert "REP007" in _rules(
+        "from repro.engine import PartitionEngine\n", "native/build.py"
+    )
+
+
+def test_rep007_allows_runtime_importing_native():
+    src = "from repro.native import get_kernels\nimport repro.runtime.plan\n"
+    assert "REP007" not in _rules(src, "runtime/apply.py")
+    # The rule binds the native layer only.
+    assert "REP007" not in _rules("import repro.runtime\n", "engine/engine.py")
+
+
+# ---------------------------------------------------------------- REP000
+
+
+def test_syntax_error_is_a_violation_not_a_crash():
+    flagged = lint_source("def broken(:\n", "engine/bad.py")
+    assert [v.rule for v in flagged] == ["REP000"]
+    assert "syntax error" in flagged[0].message
+
+
+# ------------------------------------------------------------- machinery
+
+
+def test_every_rule_has_catalog_entry_and_both_polarities_covered():
+    assert set(RULES) == {f"REP00{i}" for i in range(1, 8)}
+    for rule_id, (summary, rationale) in RULES.items():
+        assert summary and rationale, rule_id
+
+
+def test_violation_str_is_file_line_rule():
+    v = lint_source("def f(xs=[]):\n    return xs\n", "engine/x.py")[0]
+    assert str(v).startswith("engine/x.py:1: REP005")
+
+
+def test_lint_paths_keys_allowlists_on_relative_path(tmp_path):
+    pkg = tmp_path / "native"
+    pkg.mkdir()
+    mod = pkg / "build.py"
+    mod.write_text("import os\nV = os.getenv('X')\n", encoding="utf-8")
+    # Relative to tmp_path the file IS native/build.py → env read allowed.
+    assert lint_paths([mod], tmp_path) == []
+    # Against a different root it falls back to the bare name → flagged.
+    flagged = lint_paths([mod], tmp_path / "elsewhere")
+    assert [v.rule for v in flagged] == ["REP004"]
+
+
+def test_shipped_source_tree_is_lint_clean():
+    """The tier-1 gate: src/repro carries zero violations."""
+    violations = run_lint()
+    assert violations == [], "\n".join(str(v) for v in violations)

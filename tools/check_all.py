@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""One-shot verification driver: every static check plus the fast test tier.
+
+Runs, in order, and prints one PASS/FAIL line per step:
+
+1. project lint over ``src/repro`` (``repro check lint``);
+2. the protocol model checker for 2-4 workers with crash faults;
+3. the plan-IR checker on freshly compiled golden instances across all
+   three execution models (plan- and shard-level);
+4. the fast pytest tier (``-m "not slow"``) in a subprocess — skipped
+   with ``--no-pytest`` when only the static layer is wanted.
+
+Exit status is 0 iff every step passed.  This is the pre-merge gate in
+script form: a checkout where ``tools/check_all.py`` exits 0 has the
+same guarantees the CI tier enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def step_lint() -> tuple[bool, str]:
+    from repro.verify import run_lint
+
+    violations = run_lint()
+    if violations:
+        return False, "\n".join(str(v) for v in violations)
+    return True, "0 violations over src/repro"
+
+
+def step_protocol() -> tuple[bool, str]:
+    from repro.verify import check_protocol
+
+    reports = check_protocol(
+        workers=(2, 3, 4), nsteps=(2, 3), max_faults=1, raise_on_error=False
+    )
+    bad = [r for r in reports if not r.ok]
+    detail = "\n".join(r.summary() for r in (bad or reports[-3:]))
+    return not bad, detail
+
+
+def step_plans() -> tuple[bool, str]:
+    import scipy.sparse as sp
+
+    from repro.core import make_s2d_bounded, s2d_heuristic
+    from repro.generators.mesh import knn_mesh
+    from repro.hypergraph import PartitionConfig
+    from repro.partition import partition_1d_rowwise, partition_2d_finegrain
+    from repro.runtime import compile_plan, shard_plan
+    from repro.sparse.coo import canonical_coo
+    from repro.verify import verify_plan
+
+    cfg = PartitionConfig(seed=23, ninitial=2, fm_passes=2)
+    mesh = knn_mesh(300, 6, dim=2, seed=7)
+    rect = canonical_coo(
+        sp.random(40, 55, density=0.12, random_state=5, format="coo")
+    )
+    oned = partition_1d_rowwise(mesh, 4, cfg)
+    s2d = s2d_heuristic(mesh, x_part=oned.vectors, nparts=4)
+    instances = [
+        ("1d-rowwise/single", oned),
+        ("s2d/single", s2d),
+        ("s2d-bounded/routed", make_s2d_bounded(s2d)),
+        ("finegrain/two", partition_2d_finegrain(mesh, 4, cfg)),
+        ("finegrain-rect/two", partition_2d_finegrain(rect, 4, cfg)),
+    ]
+    lines, ok = [], True
+    for label, p in instances:
+        plan = compile_plan(p)
+        report = verify_plan(plan, shard_plan(p, plan), raise_on_error=False)
+        ok &= report.ok
+        lines.append(f"{label}: {report.summary()}")
+    return ok, "\n".join(lines)
+
+
+def step_pytest() -> tuple[bool, str]:
+    env = {**os.environ, "PYTHONPATH": "src"}
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-m", "not slow"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    tail = "\n".join(proc.stdout.strip().splitlines()[-4:])
+    return proc.returncode == 0, tail
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--no-pytest",
+        action="store_true",
+        help="run only the static checks (lint, protocol, plan-IR)",
+    )
+    args = ap.parse_args(argv)
+
+    steps = [
+        ("lint", step_lint),
+        ("protocol", step_protocol),
+        ("plan-ir", step_plans),
+    ]
+    if not args.no_pytest:
+        steps.append(("pytest-fast", step_pytest))
+
+    failed = []
+    for name, fn in steps:
+        t0 = time.perf_counter()
+        try:
+            ok, detail = fn()
+        except Exception as exc:  # a crashed step is a failed step
+            ok, detail = False, f"{type(exc).__name__}: {exc}"
+        dt = time.perf_counter() - t0
+        print(f"[{'PASS' if ok else 'FAIL'}] {name} ({dt:.1f}s)")
+        for line in detail.splitlines():
+            print(f"    {line}")
+        if not ok:
+            failed.append(name)
+
+    if failed:
+        print(f"\n{len(failed)} step(s) failed: {', '.join(failed)}")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
