@@ -110,6 +110,24 @@ def _resolve_backend_or_exit(backend: str) -> str:
         raise SystemExit(f"s2d-repro: error: {exc}") from exc
 
 
+_TRACE_FORMATS = ("chrome", "json", "tree")
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    """``--trace``/``--trace-format`` for every traceable subcommand."""
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span trace of this run and write it to FILE "
+        "('-' prints the human-readable tree); default format is "
+        "Chrome trace-event, loadable in Perfetto",
+    )
+    p.add_argument(
+        "--trace-format", choices=_TRACE_FORMATS, default="chrome",
+        help="trace file format (chrome = Perfetto timeline, json = "
+        "schema-versioned span tree, tree = indented text)",
+    )
+
+
 def _quality_line(kind: str, q) -> str:
     """The one-line quality summary shared by `partition` and `simulate`."""
     return (
@@ -145,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         help="numeric kernel backend for any compiled applies "
         "(auto = native where a C compiler is available)",
     )
+    _add_trace_args(p_table)
 
     sub.add_parser("figure1", help="print the Figure 1 worked example")
 
@@ -173,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="print per-stage partitioner timings (coarsen/initial/refine/kway)",
     )
+    _add_trace_args(p_part)
 
     p_sim = sub.add_parser("simulate", help="run the simulated SpMV executors")
     p_sim.add_argument("--matrix", help="suite matrix name (see `suite`)")
@@ -191,6 +211,7 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="print per-phase executor timings and the cost breakdown",
     )
+    _add_trace_args(p_sim)
 
     p_solve = sub.add_parser(
         "solve", help="iterative solve on the compiled SpMV runtime"
@@ -217,6 +238,32 @@ def main(argv: list[str] | None = None) -> int:
         help="numeric kernel backend: numpy, native (fused C loops; "
         "errors if no C compiler), or auto (native where available, "
         "bit-identical either way)",
+    )
+    _add_trace_args(p_solve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="one report over every counter store: engine memo caches, "
+        "artifact caches, native build cache",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_stats.add_argument(
+        "--no-native", action="store_true",
+        help="skip the native build-cache probe (which may build the library)",
+    )
+    p_stats.add_argument(
+        "--matrix", default=None,
+        help="optional workload: plan+compile this suite matrix first so "
+        "the counters have something to show",
+    )
+    p_stats.add_argument("--scheme", choices=_SCHEMES, default="s2d")
+    p_stats.add_argument("--k", type=int, default=4)
+    p_stats.add_argument("--scale", choices=SCALES, default="tiny")
+    p_stats.add_argument(
+        "--cache-dir", default=None,
+        help="exercise a persistent artifact cache at this directory",
     )
 
     p_check = sub.add_parser(
@@ -251,7 +298,23 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     try:
-        return _dispatch(args)
+        trace_path = getattr(args, "trace", None)
+        if not trace_path:
+            return _dispatch(args)
+        # Traced run: collect a span tree around the whole dispatch and
+        # export it; the command's numeric outputs are unaffected
+        # (instrumentation never touches numeric state).
+        from repro import obs
+        from repro.obs import tree_str, write_trace
+
+        with obs.tracing() as tr:
+            rc = _dispatch(args)
+        if trace_path == "-":
+            print(tree_str(tr))
+        else:
+            write_trace(tr, trace_path, fmt=args.trace_format)
+            print(f"trace: {trace_path} ({args.trace_format})")
+        return rc
     except UsageError as exc:
         # Malformed command-level input (e.g. --jobs -2): one clean
         # line on stderr instead of a traceback.
@@ -298,6 +361,9 @@ def _dispatch(args) -> int:
         if status["reason"]:
             print(f"reason={status['reason']}")
         return 0
+
+    if args.cmd == "stats":
+        return _stats_cmd(args)
 
     if args.cmd == "check":
         return _check_cmd(args)
@@ -415,14 +481,45 @@ def _dispatch(args) -> int:
         )
         print(f"per-iteration plan: words={cplan.words} msgs={cplan.msgs}")
         if pool is not None:
+            skew = recon["worker_skew"]
             print(
                 f"parallel: iters={recon['iters']} "
                 f"measured words/iter={recon['total_words_per_iter']} "
+                f"worker max/min={skew['max_s']:.4f}s/{skew['min_s']:.4f}s "
+                f"skew={skew['ratio']:.2f}x "
                 "(reconciled against the ledger)"
             )
         return 0
 
     return 1  # pragma: no cover
+
+
+def _stats_cmd(args) -> int:
+    """The ``stats`` subcommand: one report over every counter store."""
+    import json
+
+    from repro.obs import gather_stats, stats_text
+
+    if args.matrix:
+        # Optional workload so a cold process has counters to show.
+        cfg = ExperimentConfig(scale=args.scale)
+        a = _find_matrix(args.matrix, args.scale)
+        artifacts = None
+        if args.cache_dir is not None:
+            from repro.sweep.cache import ArtifactCache
+
+            artifacts = ArtifactCache(args.cache_dir)
+        eng = PartitionEngine(
+            a, seed=cfg.seed, machine=cfg.machine, artifacts=artifacts
+        )
+        plan = eng.plan(args.scheme, args.k, config=cfg.partitioner())
+        eng.compiled_plan(plan)
+    report = gather_stats(native=not args.no_native)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(stats_text(report))
+    return 0
 
 
 def _check_cmd(args) -> int:

@@ -27,6 +27,7 @@ from dataclasses import astuple, dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.dm.batch import BlockDM, batched_block_dm
 from repro.engine.registry import METHODS, available_methods, resolve_method
 from repro.hypergraph import PartitionConfig, PartitionProfile
@@ -154,6 +155,7 @@ class PartitionEngine:
         self._matrix_digest: str | None = None
         self.cache_stats = {"hits": 0, "misses": 0}
         self._executors: list[ParallelExecutor] = []
+        obs.register_engine(self)
 
     # ------------------------------------------------------------------
     # Memo substrate
@@ -182,8 +184,10 @@ class PartitionEngine:
             return build()
         if key in self._store:
             self.cache_stats["hits"] += 1
+            obs.add("engine.cache_hits")
             return self._store[key]
         self.cache_stats["misses"] += 1
+        obs.add("engine.cache_misses")
         value = build()
         self._store[key] = value
         return value
@@ -366,12 +370,14 @@ class PartitionEngine:
                 profile=prof,
             )
 
-        return self._memo(key, build)
+        with obs.span("engine.plan", method=name, k=int(nparts)):
+            return self._memo(key, build)
 
     def run(self, plan: Plan, x: np.ndarray | None = None) -> SpMVRun:
         """Memoized simulated SpMV execution of a plan."""
         xkey = ("run", plan.key, None if x is None else (x.shape, _digest(x)))
-        return self._memo(xkey, lambda: run_partition(plan.partition, x))
+        with obs.span("engine.run", method=plan.method, k=plan.nparts):
+            return self._memo(xkey, lambda: run_partition(plan.partition, x))
 
     def compiled_plan(self, plan: Plan, *, verify: bool = False) -> CommPlan:
         """Memoized communication plan compiled from ``plan``'s partition.
@@ -404,7 +410,8 @@ class PartitionEngine:
                 self.artifacts.store_plan(self.matrix_digest, plan.key, built)
             return built
 
-        cplan = self._memo(key, build)
+        with obs.span("engine.compile", method=plan.method, k=plan.nparts):
+            cplan = self._memo(key, build)
         if verify:
             from repro.verify import verify_plan
 
@@ -420,7 +427,8 @@ class PartitionEngine:
         """
         cplan = self.compiled_plan(plan)
         key = ("plan-shards", plan.key)
-        return self._memo(key, lambda: shard_plan(plan.partition, cplan))
+        with obs.span("engine.shard", method=plan.method, k=plan.nparts):
+            return self._memo(key, lambda: shard_plan(plan.partition, cplan))
 
     def parallel_executor(
         self,

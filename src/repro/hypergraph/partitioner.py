@@ -9,11 +9,11 @@ strategy PaToH applies for the connectivity metric.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.hypergraph import profiling
 from repro.hypergraph.bisect import multilevel_bisect
@@ -78,7 +78,7 @@ def partition_kway(
         raise ConfigError("nparts must be at least 1")
     config = config or PartitionConfig()
     prof = profile if profile is not None else profiling.active_profile()
-    t_start = time.perf_counter()
+    t_start = obs.now()
     rng = as_generator(config.seed)
     depth = max(1, int(np.ceil(np.log2(nparts)))) if nparts > 1 else 1
     eps_level = (1.0 + config.epsilon) ** (1.0 / depth) - 1.0
@@ -91,12 +91,13 @@ def partition_kway(
 
         if prof is not None:
             cut_before = connectivity_minus_one(hg, part)
-        t0 = time.perf_counter()
-        part = kway_greedy_refine(
-            hg, part, nparts, epsilon=config.epsilon, max_passes=config.kway_passes
-        )
+        t0 = obs.now()
+        with obs.span("partition.kway"):
+            part = kway_greedy_refine(
+                hg, part, nparts, epsilon=config.epsilon, max_passes=config.kway_passes
+            )
         if prof is not None:
-            prof.add("kway", time.perf_counter() - t0)
+            prof.add("kway", obs.now() - t0)
             # Accumulate (not overwrite): an ambient collector may span
             # several partition_kway runs (e.g. the checkerboard row and
             # column stages); the profile then reports the totals.
@@ -105,7 +106,7 @@ def partition_kway(
                 hg, part
             )
     if prof is not None:
-        prof.total_s += time.perf_counter() - t_start
+        prof.total_s += obs.now() - t_start
     return part
 
 

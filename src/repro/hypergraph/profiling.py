@@ -13,15 +13,21 @@ structural counters.  Two ways to collect one:
   flag observe the hypergraph stage without threading an argument
   through every method builder.
 
-The ambient collector is a module global; the library is single-
-threaded by design, matching the rest of the reproduction harness.
+This module is a thin adapter over :mod:`repro.obs`: the ambient slot
+is an :class:`repro.obs.AmbientCollector` (the shared implementation of
+the pattern this module and :mod:`repro.simulate.profiling` used to
+copy-paste), and :meth:`PartitionProfile.stage` doubles as an
+``obs.span("partition.<stage>")`` — so any :func:`repro.obs.tracing`
+block sees partitioner stages as tree nodes for free, while the
+profile API and its ``--profile`` table stay exactly as before.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro import obs
 
 __all__ = ["PartitionProfile", "collect", "active_profile"]
 
@@ -47,11 +53,12 @@ class PartitionProfile:
     @contextmanager
     def stage(self, name: str):
         """Time a block and charge it to ``name`` (coarsen/initial/...)."""
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add(name, time.perf_counter() - t0)
+        with obs.span(f"partition.{name}"):
+            t0 = obs.now()
+            try:
+                yield
+            finally:
+                self.add(name, obs.now() - t0)
 
     def as_dict(self) -> dict:
         d = {
@@ -93,22 +100,16 @@ class PartitionProfile:
         return "\n".join(lines)
 
 
-_ACTIVE: PartitionProfile | None = None
+_ACTIVE = obs.AmbientCollector(PartitionProfile)
 
 
 def active_profile() -> PartitionProfile | None:
     """The ambient profile collector, if a :func:`collect` block is open."""
-    return _ACTIVE
+    return _ACTIVE.active()
 
 
 @contextmanager
 def collect(profile: PartitionProfile | None = None):
     """Collect partitioner stage timings from everything run inside."""
-    global _ACTIVE
-    prof = profile if profile is not None else PartitionProfile()
-    prev = _ACTIVE
-    _ACTIVE = prof
-    try:
+    with _ACTIVE.collect(profile) as prof:
         yield prof
-    finally:
-        _ACTIVE = prev

@@ -70,6 +70,7 @@ from pathlib import Path
 import numpy as np
 from numpy.ctypeslib import ndpointer
 
+from repro import obs
 from repro.errors import ConfigError, NativeBuildError
 
 __all__ = [
@@ -270,8 +271,11 @@ def _load(variant: str) -> KernelLib:
     cflags = _VARIANT_CFLAGS[variant]
     so = cache_dir() / f"kernels-{_build_key(compiler, cflags)}.so"
     if not so.exists():
-        _compile(compiler, so, cflags)
+        with obs.span("native.build", variant=variant, compiler=compiler):
+            _compile(compiler, so, cflags)
         _state[variant]["built"] = True
+    else:
+        obs.event("native.cache_hit", variant=variant, so=so.name)
     if variant == "sanitize":
         # The ASan/UBSan runtimes arrive via dlopen; probe in a child
         # (with ASAN_OPTIONS in its exec-time env) first, and refuse the
@@ -293,7 +297,9 @@ def _load(variant: str) -> KernelLib:
     except (OSError, NativeBuildError):
         # A truncated or stale cache entry: evict, rebuild once.
         so.unlink(missing_ok=True)
-        _compile(compiler, so, cflags)
+        obs.event("native.cache_evict", variant=variant, so=so.name)
+        with obs.span("native.build", variant=variant, compiler=compiler):
+            _compile(compiler, so, cflags)
         _state[variant]["built"] = True
         return KernelLib(so)
 

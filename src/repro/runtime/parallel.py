@@ -50,12 +50,12 @@ from __future__ import annotations
 
 import itertools
 import os
-import time
 import weakref
 from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.jobs import resolve_jobs
 from repro.native import ops as native_ops
@@ -297,9 +297,9 @@ def apply_shards_serial(
             if timings is None:
                 r.run_step(step)
             else:
-                t0 = time.perf_counter()
+                t0 = obs.now()
                 r.run_step(step)
-                timings[r.s.part, step] += time.perf_counter() - t0
+                timings[r.s.part, step] += obs.now() - t0
     return y
 
 
@@ -332,6 +332,14 @@ def _segment_views(plan: CommPlan, segments: dict) -> dict[str, np.ndarray]:
     views["stats"] = np.frombuffer(segments["stats"].buf, dtype=np.int64)[
         : plan.nparts * nph
     ].reshape(plan.nparts, nph)
+    # Per-part per-superstep wall-clock: [cumulative seconds, last
+    # start, last end] — starts/ends are obs.now() readings, which is
+    # CLOCK_MONOTONIC and system-wide, so worker timestamps are
+    # directly comparable with the coordinator's trace clock.
+    nsteps = _N_STEPS[plan.executor]
+    views["tim"] = np.frombuffer(segments["tim"].buf, dtype=np.float64)[
+        : plan.nparts * nsteps * 3
+    ].reshape(plan.nparts, nsteps, 3)
     for ph, n in _buffer_sizes(plan).items():
         views[f"buf-{ph}"] = np.frombuffer(
             segments[f"buf-{ph}"].buf, dtype=np.float64
@@ -373,6 +381,7 @@ def _worker_main(wid, jobs, plan, shards, segments, go, done, backend) -> None:
             for sh in shards[wid::jobs]
         ]
         nsteps = _N_STEPS[plan.executor]
+        tim = views["tim"]
         step = 0
         while True:
             go.acquire()
@@ -380,7 +389,13 @@ def _worker_main(wid, jobs, plan, shards, segments, go, done, backend) -> None:
                 break
             try:
                 for r in runners:
+                    t0 = obs.now()
                     r.run_step(step)
+                    t1 = obs.now()
+                    row = tim[r.s.part, step]
+                    row[0] += t1 - t0
+                    row[1] = t0
+                    row[2] = t1
             except BaseException as exc:
                 _post_error(ctl, err, exc)
                 done.release()
@@ -481,9 +496,11 @@ class ParallelExecutor:
             self._segments[name] = shm
             return shm
 
+        self._nsteps = _N_STEPS[plan.executor]
         seg("x", plan.ncols * 8)
         seg("y", plan.nrows * 8)
         seg("stats", plan.nparts * len(self.phases) * 8)
+        seg("tim", plan.nparts * self._nsteps * 3 * 8)
         seg("ctl", 4 * 8)
         seg("err", _ERRMSG_BYTES)
         for ph, n in _buffer_sizes(plan).items():
@@ -491,8 +508,14 @@ class ParallelExecutor:
         views = _segment_views(plan, self._segments)
         self._x, self._y = views["x"], views["y"]
         self._stats, self._ctl, self._err = views["stats"], views["ctl"], views["err"]
+        self._tim = views["tim"]
         self._stats[:] = 0
+        self._tim[:] = 0.0
         self._ctl[:] = 0
+        # Which worker runs which part (the shards[w::jobs] deal).
+        self._worker_of_part = {
+            sh.part: i % self.jobs for i, sh in enumerate(shards)
+        }
 
         # Coordinator-mediated superstep gates: one private ``go``
         # semaphore per worker (no worker can steal a sibling's step
@@ -500,7 +523,6 @@ class ParallelExecutor:
         # why these must be semaphores and not barriers.
         self._go = [ctx.Semaphore(0) for _ in range(self.jobs)]
         self._done = ctx.Semaphore(0)
-        self._nsteps = _N_STEPS[plan.executor]
         self._procs = []
         for w in range(self.jobs):
             p = ctx.Process(
@@ -535,16 +557,44 @@ class ParallelExecutor:
                 + (" (a worker failed)" if self._broken else "")
             )
         self._x[:] = resolve_x(x, self.plan.ncols)
-        for _ in range(self._nsteps):
-            for g in self._go:
-                g.release()
-            for _ in range(self.jobs):
-                if not self._done.acquire(timeout=self.timeout):
+        traced = obs.active_trace() is not None
+        with obs.span(
+            "parallel.apply", mode=self.plan.executor, jobs=self.jobs
+        ):
+            for step in range(self._nsteps):
+                for g in self._go:
+                    g.release()
+                for _ in range(self.jobs):
+                    if not self._done.acquire(timeout=self.timeout):
+                        self._fail()
+                if self._ctl[_ERR]:
                     self._fail()
-            if self._ctl[_ERR]:
-                self._fail()
+                if traced:
+                    self._record_step(step)
         self.niters += 1
         return self._y.copy()
+
+    def _record_step(self, step: int) -> None:
+        """Merge the just-acked superstep's per-worker windows into the
+        ambient trace.
+
+        Safe to read here: every worker acked ``done`` for this step
+        (its ``tim`` writes happened before the release) and blocks on
+        ``go`` until the next one, so the last start/end columns are
+        stable.  Timestamps are ``obs.now()`` seconds in the workers'
+        processes — the same system-wide monotonic clock as the
+        coordinator's trace, so the slices land at their true offsets.
+        """
+        for part in sorted(self._worker_of_part):
+            t0, t1 = self._tim[part, step, 1], self._tim[part, step, 2]
+            obs.record(
+                "parallel.superstep",
+                t0,
+                t1 - t0,
+                worker=self._worker_of_part[part],
+                part=part,
+                step=step,
+            )
 
     def apply(self, x: np.ndarray | None = None) -> SpMVRun:
         """One multiply as a :class:`~repro.simulate.machine.SpMVRun`,
@@ -568,6 +618,35 @@ class ParallelExecutor:
         if self._closed:
             raise SimulationError("parallel executor is closed")
         return self._stats.copy()
+
+    def step_timings(self) -> np.ndarray:
+        """Cumulative compute seconds each part spent in each superstep,
+        over all applies: float64 of shape (K, nsteps).  Worker wall
+        clock, measured inside the worker around its ``run_step``."""
+        if self._closed:
+            raise SimulationError("parallel executor is closed")
+        return self._tim[:, :, 0].copy()
+
+    def worker_skew(self) -> dict:
+        """Load balance of the pool, from the per-part step timings.
+
+        Sums each worker's cumulative superstep seconds (a worker owns
+        the parts dealt to it round-robin) and reports the max/min
+        across workers plus their ratio — the CLI ``solve --jobs``
+        reconciliation line surfaces this skew.  ``ratio`` is ``inf``
+        when the fastest worker recorded no measurable work.
+        """
+        per_worker = np.zeros(self.jobs)
+        timings = self.step_timings()
+        for part, w in self._worker_of_part.items():
+            per_worker[w] += timings[part].sum()
+        lo, hi = float(per_worker.min()), float(per_worker.max())
+        return {
+            "per_worker_s": per_worker.tolist(),
+            "min_s": lo,
+            "max_s": hi,
+            "ratio": (hi / lo) if lo > 0 else float("inf"),
+        }
 
     def reconcile(self) -> dict:
         """Check measured buffer traffic against the machine-model ledger.
@@ -594,6 +673,7 @@ class ParallelExecutor:
             "words_per_iter": per_phase,
             "bytes_per_iter": {ph: w * 8 for ph, w in per_phase.items()},
             "total_words_per_iter": int(predicted.sum()),
+            "worker_skew": self.worker_skew(),
         }
 
     # ---------------------------------------------------------- lifecycle
@@ -621,7 +701,8 @@ class ParallelExecutor:
             for p in self._procs:
                 p.join(timeout=2.0)
         # Views must drop their buffer exports before the segments close.
-        self._x = self._y = self._stats = self._ctl = self._err = None
+        self._x = self._y = self._stats = self._tim = None
+        self._ctl = self._err = None
         self._finalizer()
 
     @property

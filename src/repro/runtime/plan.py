@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.kernels import _use_histogram
 from repro.native import ops as native_ops
@@ -340,9 +341,13 @@ class CommPlan:
         see :func:`repro.native.resolve_backend`).
         """
         x = resolve_x(x, self.ncols)
-        if resolve_backend(backend) == "native":
-            return self._native().apply_y(x)
-        return self._apply_y_numpy(x)
+        resolved = resolve_backend(backend)
+        with obs.span("plan.apply", mode=self.executor, backend=resolved):
+            obs.add("plan.sent_words", int(self.words))
+            obs.add("plan.msgs", int(self.msgs))
+            if resolved == "native":
+                return self._native().apply_y(x)
+            return self._apply_y_numpy(x)
 
     def apply(
         self, x: np.ndarray | None = None, *, backend: str | None = None

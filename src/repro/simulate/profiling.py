@@ -9,15 +9,19 @@ into the yielded :class:`SimulateProfile`.  The CLI's
 show where executor time goes without threading an argument through
 every call site.
 
-The ambient collector is a module global; the library is single-
-threaded by design, matching the rest of the reproduction harness.
+This module is a thin adapter over :mod:`repro.obs`: the ambient slot
+is an :class:`repro.obs.AmbientCollector` and :func:`stage` doubles as
+an ``obs.span("simulate.<phase>")``, so executor phases appear in any
+open :func:`repro.obs.tracing` tree with no extra plumbing while the
+profile API and the ``--profile`` table stay exactly as before.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro import obs
 
 __all__ = ["SimulateProfile", "collect", "active_profile", "stage", "note_run"]
 
@@ -49,46 +53,45 @@ class SimulateProfile:
         return "\n".join(lines)
 
 
-_ACTIVE: SimulateProfile | None = None
+_ACTIVE = obs.AmbientCollector(SimulateProfile)
 
 
 def active_profile() -> SimulateProfile | None:
     """The ambient profile collector, if a :func:`collect` block is open."""
-    return _ACTIVE
+    return _ACTIVE.active()
 
 
 def note_run() -> None:
     """Count one executor invocation against the ambient collector."""
-    if _ACTIVE is not None:
-        _ACTIVE.runs += 1
+    prof = _ACTIVE.active()
+    if prof is not None:
+        prof.runs += 1
+    obs.add("simulate.runs")
 
 
 @contextmanager
 def stage(name: str):
     """Time a block and charge it to ``name`` when a collector is open.
 
-    A no-op (beyond one global read) when no :func:`collect` block is
-    active, so the executors call it unconditionally.
+    A no-op (beyond two ambient reads) when neither a :func:`collect`
+    block nor an :func:`repro.obs.tracing` block is active, so the
+    executors call it unconditionally.
     """
-    prof = _ACTIVE
-    if prof is None:
+    prof = _ACTIVE.active()
+    if prof is None and obs.active_trace() is None:
         yield
         return
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        prof.add(name, time.perf_counter() - t0)
+    with obs.span(f"simulate.{name}"):
+        t0 = obs.now()
+        try:
+            yield
+        finally:
+            if prof is not None:
+                prof.add(name, obs.now() - t0)
 
 
 @contextmanager
 def collect(profile: SimulateProfile | None = None):
     """Collect executor phase timings from everything run inside."""
-    global _ACTIVE
-    prof = profile if profile is not None else SimulateProfile()
-    prev = _ACTIVE
-    _ACTIVE = prof
-    try:
+    with _ACTIVE.collect(profile) as prof:
         yield prof
-    finally:
-        _ACTIVE = prev

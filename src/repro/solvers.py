@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigError, SimulationError
 from repro.partition.types import SpMVPartition
 from repro.runtime import CommPlan, compile_plan
@@ -135,10 +136,13 @@ class _SpMVEngine:
         self._iter_time = self.plan.time(machine)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        y = self._apply(x)
+        with obs.span("solver.matvec"):
+            y = self._apply(x)
         self.words += self._iter_words
         self.msgs += self._iter_msgs
         self.time += self._iter_time
+        obs.add("solver.comm_words", self._iter_words)
+        obs.add("solver.comm_msgs", self._iter_msgs)
         return y
 
     def close(self) -> None:
@@ -191,20 +195,25 @@ def power_iteration(
     converged = False
     it = 0
     try:
-        for it in range(1, iters + 1):
-            y = eng.matvec(x)
-            lam = float(x @ y)
-            eng.reduction_cost()
-            nrm = np.linalg.norm(y)
-            eng.reduction_cost()
-            if nrm == 0:
-                raise SimulationError("power iteration hit the zero vector")
-            x = y / nrm
-            history.append(lam)
-            if it > 1 and abs(lam - lam_old) <= tol * max(abs(lam), 1.0):
-                converged = True
-                break
-            lam_old = lam
+        with obs.span(
+            "solver.power_iteration", k=p.nparts, executor=executor
+        ) as sp:
+            for it in range(1, iters + 1):
+                y = eng.matvec(x)
+                lam = float(x @ y)
+                eng.reduction_cost()
+                nrm = np.linalg.norm(y)
+                eng.reduction_cost()
+                if nrm == 0:
+                    raise SimulationError("power iteration hit the zero vector")
+                x = y / nrm
+                history.append(lam)
+                if it > 1 and abs(lam - lam_old) <= tol * max(abs(lam), 1.0):
+                    converged = True
+                    break
+                lam_old = lam
+            if sp is not None:
+                sp.attrs["iterations"] = it
     finally:
         eng.close()
     return SolveResult(
@@ -251,16 +260,19 @@ def jacobi(
     converged = False
     it = 0
     try:
-        for it in range(1, iters + 1):
-            az = eng.matvec(z)
-            r = b - az
-            res = float(np.linalg.norm(r)) / bnorm
-            eng.reduction_cost()
-            history.append(res)
-            if res <= tol:
-                converged = True
-                break
-            z = z + r / d
+        with obs.span("solver.jacobi", k=p.nparts, executor=executor) as sp:
+            for it in range(1, iters + 1):
+                az = eng.matvec(z)
+                r = b - az
+                res = float(np.linalg.norm(r)) / bnorm
+                eng.reduction_cost()
+                history.append(res)
+                if res <= tol:
+                    converged = True
+                    break
+                z = z + r / d
+            if sp is not None:
+                sp.attrs["iterations"] = it
     finally:
         eng.close()
     return SolveResult(
@@ -305,24 +317,31 @@ def conjugate_gradient(
     converged = False
     it = 0
     try:
-        for it in range(1, iters + 1):
-            ad = eng.matvec(d)
-            dad = float(d @ ad)
-            eng.reduction_cost()
-            if dad <= 0:
-                raise SimulationError("matrix is not positive definite along d")
-            alpha = rs / dad
-            z = z + alpha * d
-            r = r - alpha * ad
-            rs_new = float(r @ r)
-            eng.reduction_cost()
-            res = float(np.sqrt(rs_new)) / bnorm
-            history.append(res)
-            if res <= tol:
-                converged = True
-                break
-            d = r + (rs_new / rs) * d
-            rs = rs_new
+        with obs.span(
+            "solver.conjugate_gradient", k=p.nparts, executor=executor
+        ) as sp:
+            for it in range(1, iters + 1):
+                ad = eng.matvec(d)
+                dad = float(d @ ad)
+                eng.reduction_cost()
+                if dad <= 0:
+                    raise SimulationError(
+                        "matrix is not positive definite along d"
+                    )
+                alpha = rs / dad
+                z = z + alpha * d
+                r = r - alpha * ad
+                rs_new = float(r @ r)
+                eng.reduction_cost()
+                res = float(np.sqrt(rs_new)) / bnorm
+                history.append(res)
+                if res <= tol:
+                    converged = True
+                    break
+                d = r + (rs_new / rs) * d
+                rs = rs_new
+            if sp is not None:
+                sp.attrs["iterations"] = it
     finally:
         eng.close()
     return SolveResult(

@@ -33,6 +33,7 @@ import os
 import pathlib
 import pickle
 
+from repro import obs
 from repro.partition import serialize
 from repro.partition.serialize import (
     load_partition,
@@ -83,6 +84,7 @@ class ArtifactCache:
         self.root = pathlib.Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+        obs.register_cache(self)
 
     # ------------------------------------------------------------------
 
@@ -92,6 +94,7 @@ class ArtifactCache:
     def _fetch(self, path: pathlib.Path, loader):
         if not path.exists():
             self.stats["misses"] += 1
+            obs.add("artifact.misses")
             return None
         try:
             value = loader(path)
@@ -100,12 +103,15 @@ class ArtifactCache:
             # payload, unpicklable garbage … evict and rebuild.
             self.stats["corrupt"] += 1
             self.stats["misses"] += 1
+            obs.add("artifact.misses")
+            obs.event("artifact.corrupt", path=str(path))
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - best-effort eviction
                 pass
             return None
         self.stats["hits"] += 1
+        obs.add("artifact.hits")
         return value
 
     def _store(self, path: pathlib.Path, writer) -> None:
@@ -118,6 +124,7 @@ class ArtifactCache:
             if tmp.exists():  # pragma: no cover - failed write cleanup
                 tmp.unlink()
         self.stats["stores"] += 1
+        obs.add("artifact.stores")
 
     # ------------------------------------------------------------------
     # Partitions and compiled plans (serialize.py format v2)

@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.engine import PartitionEngine
 from repro.hypergraph import PartitionConfig
 from repro.jobs import resolve_jobs
@@ -137,7 +137,7 @@ def _machine_key(machine: MachineModel) -> tuple:
 
 def _execute_task(task: MatrixTask, cache_dir) -> tuple[list[CellRecord], dict]:
     """Run every cell of one task through one engine (worker body)."""
-    t_start = time.perf_counter()
+    t_start = obs.now()
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
     engine = PartitionEngine(
         task.ref.materialize(),
@@ -148,57 +148,64 @@ def _execute_task(task: MatrixTask, cache_dir) -> tuple[list[CellRecord], dict]:
     )
     digest = engine.matrix_digest
     records: list[CellRecord] = []
-    for cell in task.cells:
-        machine = task.machines[cell.machine_index]
-        config = PartitionConfig(
-            epsilon=task.epsilon,
-            seed=derive_seed(task.seed, task.matrix_index, cell.slot),
-        )
-        opts = dict(cell.opts)
-        quality = None
-        from_cache = False
-        plan_key = None
-        if cache is not None:
-            # Address the record without building the plan.
-            plan_key = engine.plan_key(cell.scheme, cell.k, config=config, **opts)
-            quality = cache.fetch_record(digest, plan_key, _machine_key(machine))
-            from_cache = quality is not None
-        plan = None
-        if quality is None:
-            plan = engine.plan(cell.scheme, cell.k, config=config, **opts)
-            quality = engine.evaluate(plan, machine=machine)
-            if cache is not None:
-                cache.store_record(digest, plan_key, _machine_key(machine), quality)
-        if task.compile_plans:
-            # Compile even when the record came from the cache: the
-            # plan itself is then a cheap artifact fetch, and the
-            # CommPlan contract holds regardless of record warmth.
-            if plan is None:
-                plan = engine.plan(cell.scheme, cell.k, config=config, **opts)
-            engine.compiled_plan(plan)
-        records.append(
-            CellRecord(
-                matrix=task.name,
-                scale=task.ref.scale,
-                scheme=cell.scheme,
-                k=cell.k,
-                seed=task.seed,
-                slot=cell.slot,
-                machine=machine,
-                quality=quality,
-                from_cache=from_cache,
-            )
-        )
+    with obs.span(
+        "sweep.task", matrix=task.name, seed=task.seed, pid=os.getpid()
+    ):
+        for cell in task.cells:
+            with obs.span("sweep.cell", scheme=cell.scheme, k=cell.k):
+                records.append(_execute_cell(task, engine, cache, digest, cell))
     info = {
         "matrix": task.name,
         "seed": task.seed,
         "pid": os.getpid(),
-        "task_s": time.perf_counter() - t_start,
+        "task_s": obs.now() - t_start,
         **engine.cache_info(),
     }
     if cache is not None:
         info["artifacts"] = dict(cache.stats)
     return records, info
+
+
+def _execute_cell(task, engine, cache, digest, cell) -> CellRecord:
+    """Plan and evaluate one grid cell (record-cache aware)."""
+    machine = task.machines[cell.machine_index]
+    config = PartitionConfig(
+        epsilon=task.epsilon,
+        seed=derive_seed(task.seed, task.matrix_index, cell.slot),
+    )
+    opts = dict(cell.opts)
+    quality = None
+    from_cache = False
+    plan_key = None
+    if cache is not None:
+        # Address the record without building the plan.
+        plan_key = engine.plan_key(cell.scheme, cell.k, config=config, **opts)
+        quality = cache.fetch_record(digest, plan_key, _machine_key(machine))
+        from_cache = quality is not None
+    plan = None
+    if quality is None:
+        plan = engine.plan(cell.scheme, cell.k, config=config, **opts)
+        quality = engine.evaluate(plan, machine=machine)
+        if cache is not None:
+            cache.store_record(digest, plan_key, _machine_key(machine), quality)
+    if task.compile_plans:
+        # Compile even when the record came from the cache: the
+        # plan itself is then a cheap artifact fetch, and the
+        # CommPlan contract holds regardless of record warmth.
+        if plan is None:
+            plan = engine.plan(cell.scheme, cell.k, config=config, **opts)
+        engine.compiled_plan(plan)
+    return CellRecord(
+        matrix=task.name,
+        scale=task.ref.scale,
+        scheme=cell.scheme,
+        k=cell.k,
+        seed=task.seed,
+        slot=cell.slot,
+        machine=machine,
+        quality=quality,
+        from_cache=from_cache,
+    )
 
 
 def _execute_indexed(args):

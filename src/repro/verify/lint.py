@@ -44,6 +44,10 @@ Rules
     ``repro.runtime`` / ``repro.engine`` / ``repro.sweep``: the kernel
     backend is a leaf the runtime depends on, never the reverse
     (cycles there would break the pre-fork library-load contract).
+``REP008`` **one-clock** — direct ``time.perf_counter`` reads are
+    confined to :mod:`repro.obs`; everything else times through
+    ``repro.obs.now()`` (or a ``span``), so every duration in ``src/``
+    comes from one clock and is visible to the tracing layer.
 
 Each violation carries its rule ID; suppressing one requires editing
 the rule's allowlist here — visible in review — rather than a magic
@@ -90,6 +94,11 @@ RULES: dict[str, tuple[str, str]] = {
         "repro.native must not import runtime/engine/sweep",
         "the kernel backend is a leaf; cycles break the pre-fork load contract",
     ),
+    "REP008": (
+        "time.perf_counter only in repro.obs",
+        "all timings flow through obs.now()/span so one clock feeds both "
+        "profiles and traces",
+    ),
 }
 
 # First path segment (relative to the repro package) of the layers
@@ -99,6 +108,7 @@ _ACCUM_LAYERS = frozenset(
      "runtime", "simulate", "sparse", "verify"}
 )
 _ENV_MODULES = frozenset({"native/build.py", "experiments/config.py"})
+_CLOCK_LAYER = "obs"
 _BANNED_SYNC = frozenset({"Barrier", "Condition"})
 _SYNC_MODULES = ("multiprocessing", "threading")
 _NATIVE_FORBIDDEN = ("repro.runtime", "repro.engine", "repro.sweep")
@@ -168,6 +178,10 @@ class _Visitor(ast.NodeVisitor):
         if mod == "weakref":
             if any(a.name == "finalize" for a in node.names):
                 self.has_finalize = True
+        if mod == "time" and self.layer != _CLOCK_LAYER:
+            for a in node.names:
+                if a.name == "perf_counter":
+                    self.flag("REP008", node, "imports time.perf_counter")
         if self.rel.startswith("native/") and mod.startswith(_NATIVE_FORBIDDEN):
             self.flag("REP007", node, f"native layer imports from {mod}")
         self.generic_visit(node)
@@ -216,6 +230,14 @@ class _Visitor(ast.NodeVisitor):
             name = _dotted(node)
             if name == "os.environ" and not self._env_allowed():
                 self.flag("REP004", node, "direct os.environ access")
+        if node.attr == "perf_counter" and self.layer != _CLOCK_LAYER:
+            if _dotted(node) == "time.perf_counter":
+                self.flag(
+                    "REP008",
+                    node,
+                    "direct time.perf_counter outside repro.obs "
+                    "(use repro.obs.now())",
+                )
         self.generic_visit(node)
 
     def visit_Name(self, node: ast.Name) -> None:

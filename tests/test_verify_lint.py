@@ -183,6 +183,30 @@ def test_rep007_allows_runtime_importing_native():
     assert "REP007" not in _rules("import repro.runtime\n", "engine/engine.py")
 
 
+# ---------------------------------------------------------------- REP008
+
+
+def test_rep008_flags_perf_counter_outside_obs():
+    assert "REP008" in _rules(
+        "import time\nt0 = time.perf_counter()\n", "engine/engine.py"
+    )
+    assert "REP008" in _rules(
+        "from time import perf_counter\n", "runtime/parallel.py"
+    )
+
+
+def test_rep008_allows_obs_and_other_time_calls():
+    assert "REP008" not in _rules(
+        "import time\nt0 = time.perf_counter()\n", "obs/trace.py"
+    )
+    # Other time functions are fine anywhere — the rule confines the
+    # *clock*, not the module.
+    assert "REP008" not in _rules(
+        "import time\ntime.sleep(0.1)\nfrom time import sleep\n",
+        "runtime/parallel.py",
+    )
+
+
 # ---------------------------------------------------------------- REP000
 
 
@@ -196,7 +220,7 @@ def test_syntax_error_is_a_violation_not_a_crash():
 
 
 def test_every_rule_has_catalog_entry_and_both_polarities_covered():
-    assert set(RULES) == {f"REP00{i}" for i in range(1, 8)}
+    assert set(RULES) == {f"REP00{i}" for i in range(1, 9)}
     for rule_id, (summary, rationale) in RULES.items():
         assert summary and rationale, rule_id
 

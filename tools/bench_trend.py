@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Bench-trend regression gate: diff fresh BENCH_*.json against committed.
+
+Compares every ``BENCH_*.json`` in ``--new-dir`` (default: the repo
+root, i.e. the committed copies themselves — which must trivially
+pass) against the baselines in ``--baseline-dir`` and exits non-zero
+when any acceptance metric regresses below the floor recorded in the
+*baseline* file, any boolean acceptance flag is false, or a baselined
+metric/file is missing from the fresh set.  Values worse than the
+baseline but still above the floor are reported as drift, not failed —
+that band absorbs hardware noise.
+
+Typical use after re-running the benchmark drivers into a scratch dir:
+
+    python benchmarks/bench_runtime.py --out /tmp/fresh  # etc.
+    python tools/bench_trend.py --new-dir /tmp/fresh
+
+``tools/check_all.py --bench`` runs the committed-vs-committed form as
+a gate step.  The comparison logic lives in ``repro.obs.trend``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.trend import trend_report, trend_text  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--new-dir",
+        default=str(REPO),
+        help="directory holding freshly generated BENCH_*.json (default: repo root)",
+    )
+    ap.add_argument(
+        "--baseline-dir",
+        default=str(REPO),
+        help="directory holding the committed baselines (default: repo root)",
+    )
+    ap.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    args = ap.parse_args(argv)
+
+    report = trend_report(args.baseline_dir, args.new_dir)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(trend_text(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,9 @@ Runs, in order, and prints one PASS/FAIL line per step:
 3. the plan-IR checker on freshly compiled golden instances across all
    three execution models (plan- and shard-level);
 4. the fast pytest tier (``-m "not slow"``) in a subprocess — skipped
-   with ``--no-pytest`` when only the static layer is wanted.
+   with ``--no-pytest`` when only the static layer is wanted;
+5. with ``--bench``, the bench-trend gate (``tools/bench_trend.py``)
+   over the committed ``BENCH_*.json`` acceptance metrics.
 
 Exit status is 0 iff every step passed.  This is the pre-merge gate in
 script form: a checkout where ``tools/check_all.py`` exits 0 has the
@@ -82,6 +84,13 @@ def step_plans() -> tuple[bool, str]:
     return ok, "\n".join(lines)
 
 
+def step_bench_trend() -> tuple[bool, str]:
+    from repro.obs.trend import trend_report, trend_text
+
+    report = trend_report(REPO, REPO)
+    return report["ok"], trend_text(report)
+
+
 def step_pytest() -> tuple[bool, str]:
     env = {**os.environ, "PYTHONPATH": "src"}
     proc = subprocess.run(
@@ -102,6 +111,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the static checks (lint, protocol, plan-IR)",
     )
+    ap.add_argument(
+        "--bench",
+        action="store_true",
+        help="also run the bench-trend gate over the committed BENCH files",
+    )
     args = ap.parse_args(argv)
 
     steps = [
@@ -109,6 +123,8 @@ def main(argv: list[str] | None = None) -> int:
         ("protocol", step_protocol),
         ("plan-ir", step_plans),
     ]
+    if args.bench:
+        steps.append(("bench-trend", step_bench_trend))
     if not args.no_pytest:
         steps.append(("pytest-fast", step_pytest))
 
