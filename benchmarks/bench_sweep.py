@@ -10,15 +10,25 @@ values × 3 schemes through one engine per matrix) at bench scale:
   records through the content-addressed store;
 - **parallel warm** — the same command again: a pure cache-read pass
   (every record fetched by content address, no partitioner or
-  simulator work).
+  simulator work);
+- **campaign resume** — the same grid through the crash-safe
+  :class:`~repro.sweep.campaign.Campaign`: a journaled run is cut off
+  at 50% of its cells (the coordinator stops exactly as a ``kill -9``
+  would — no graceful journal marker), then resumed.  The resume must
+  rehydrate every journaled-complete cell from the artifact cache
+  (zero recompute), finish the rest, and match the serial baseline
+  bit-for-bit.  The journal's measured fsync cost across both halves
+  is bounded against the serial cold wall-clock.
 
-Every record of the parallel and warm runs is verified *bit-identical*
-to the serial baseline (same LI / volume / message counts / speedups,
-same simulated ``y`` vectors, same communication ledgers).  Emits
-``BENCH_sweep.json`` at the repository root.
+Every record of the parallel, warm and campaign runs is verified
+*bit-identical* to the serial baseline (same LI / volume / message
+counts / speedups, same simulated ``y`` vectors, same communication
+ledgers).  Emits ``BENCH_sweep.json`` at the repository root.
 
 Acceptance: ≥ 2.5× cold wall-clock speedup at ``jobs=4`` vs serial,
-≥ 8× on the warm rerun, all records identical.
+≥ 8× on the warm rerun, all records identical, the killed campaign
+resumes with zero recompute of journaled cells, and journal overhead
+≤ 5% of the serial cold wall-clock.
 
 On hosts with fewer CPUs than ``jobs`` a measured multi-process
 speedup is physically impossible, so the cold speedup falls back to a
@@ -55,6 +65,8 @@ WARM_TARGET = 8.0
 #: a parallel run much slower than serial means the pool itself is
 #: broken and the projection may not be trusted.
 MEASURED_FLOOR = 0.75
+#: Journal fsync cost across run+resume, as a fraction of serial cold.
+JOURNAL_OVERHEAD_MAX = 0.05
 JOBS = 4
 SCHEME_KEYS = ("1D", "2D", "s2D")
 
@@ -159,6 +171,50 @@ def run(
             f"cache reads={warm_reads}"
         )
 
+        # --- campaign resume scenario: kill at 50%, resume, compare ---
+        from repro.experiments.tables import table_grid
+        from repro.sweep import Campaign, quality_identical, run_sweep
+
+        grid = table_grid(2, cfg, ks)
+        ngrid = sum(len(t.cells) for t in grid.tasks())
+        # Bit-exact reference records via the already-warm artifact
+        # store (records are exact pickles, so this equals a cold
+        # serial run of the same grid).
+        reference = run_sweep(grid, jobs=1, cache_dir=cache)
+        camp_root = cache / "campaign"
+        stop_after = ngrid // 2
+
+        t0 = time.perf_counter()
+        half = Campaign(grid, camp_root, jobs=jobs, stop_after=stop_after).run()
+        t_camp_run = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        resumed = Campaign(grid, camp_root, jobs=jobs).resume()
+        t_camp_resume = time.perf_counter() - t0
+
+        resumed_cells = int(resumed.counters["resumed_cells"])
+        recomputed = int(resumed.counters["cells_executed"])
+        resume_identical = len(resumed.records) == len(reference.records) and all(
+            quality_identical(a.quality, b.quality)
+            for a, b in zip(reference.records, resumed.records)
+        )
+        # Every journaled-complete cell must come back from the cache,
+        # never the partitioner: resume skips exactly what the journal
+        # proved done (the half run may overshoot stop_after by cells
+        # already in flight when the coordinator stopped).
+        done_at_kill = len(half.records)
+        resume_skipped = resumed_cells == done_at_kill
+        journal_write_s = float(
+            half.counters["journal_write_s"] + resumed.counters["journal_write_s"]
+        )
+        journal_overhead = journal_write_s / t_serial
+        print(
+            f"campaign kill@{done_at_kill}/{ngrid} {t_camp_run:7.2f}s + "
+            f"resume {t_camp_resume:7.2f}s  "
+            f"rehydrated={resumed_cells} recomputed={recomputed}  "
+            f"identical={'yes' if resume_identical else 'NO'}  "
+            f"journal overhead={journal_overhead * 100:.2f}% of serial"
+        )
+
         # Per-engine memory pressure of the cold pass (cached_bytes is
         # what sweep workers log to size long grids).
         engines = [
@@ -187,6 +243,15 @@ def run(
         "serial_task_s": task_durations,
         "parallel_cold_s": t_cold,
         "parallel_warm_s": t_warm,
+        "campaign_run_s": t_camp_run,
+        "campaign_resume_s": t_camp_resume,
+        "campaign_cells": ngrid,
+        "campaign_done_at_kill": done_at_kill,
+        "campaign_journal_write_s": journal_write_s,
+        "campaign_journal_appends": int(
+            half.counters["journal_appends"]
+            + resumed.counters["journal_appends"]
+        ),
         "engines": engines,
         "peak_cached_bytes": peak,
         "acceptance": {
@@ -201,6 +266,12 @@ def run(
             "warm_speedup": t_serial / t_warm,
             "warm_target": WARM_TARGET,
             "identical": bool(cold_ok and warm_ok),
+            "resume_identical": bool(resume_identical),
+            "resume_rehydrated": resumed_cells,
+            "resume_recomputed": recomputed,
+            "resume_zero_recompute_of_journaled": bool(resume_skipped),
+            "journal_overhead_frac": journal_overhead,
+            "journal_overhead_max": JOURNAL_OVERHEAD_MAX,
             "passed": bool(
                 cold_speedup >= COLD_TARGET
                 and cold_sane
@@ -208,6 +279,9 @@ def run(
                 and cold_ok
                 and warm_ok
                 and cold_hits == 0
+                and resume_identical
+                and resume_skipped
+                and journal_overhead <= JOURNAL_OVERHEAD_MAX
             ),
         },
     }

@@ -15,6 +15,9 @@
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --jobs 0
     python -m repro.cli solve --matrix trdheim --scheme s2d --k 8 --backend native
     python -m repro.cli native-info
+    python -m repro.cli campaign run --table 2 --dir runs/t2 --jobs 4
+    python -m repro.cli campaign resume --table 2 --dir runs/t2 --jobs 4
+    python -m repro.cli campaign status --dir runs/t2
     python -m repro.cli check lint
     python -m repro.cli check protocol --workers 2 3 4 --max-faults 1
     python -m repro.cli check plan --matrix trdheim --scheme s2d --k 8 --scale tiny
@@ -39,6 +42,16 @@ through the shared buffers are reconciled against the machine-model
 ledger.  ``--backend {auto,numpy,native}`` (on ``solve`` and ``table``)
 selects the numeric kernels; ``native-info`` reports whether the
 native C kernel backend is available and where its build cache lives.
+
+``campaign`` is the crash-safe way to run a table-scale grid: every
+cell lifecycle event lands in an append-only checksummed journal under
+``--dir``, so a ``kill -9`` at any point loses at most the in-flight
+cells — ``campaign resume`` replays the journal, rehydrates completed
+cells from the artifact cache (zero recompute, bit-identical records)
+and finishes the rest; ``campaign status`` reports progress and an ETA
+from measured per-cell durations.  Failing cells are retried with
+exponential backoff; deterministic failures are quarantined and
+reported without aborting the rest of the grid.
 
 ``check`` runs the static verification layer and exits 1 on any
 violation: ``check plan`` proves a compiled plan's index-array IR
@@ -241,6 +254,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_trace_args(p_solve)
 
+    p_camp = sub.add_parser(
+        "campaign",
+        help="crash-safe journaled table runs: run / resume / status",
+    )
+    p_camp.add_argument(
+        "action", choices=("run", "resume", "status"),
+        help="run starts a fresh campaign (refuses an in-progress "
+        "journal), resume continues one after a crash or kill, status "
+        "reports progress + ETA from the journal alone",
+    )
+    p_camp.add_argument(
+        "--dir", required=True, dest="campaign_dir",
+        help="campaign directory (journal.jsonl + artifact cache)",
+    )
+    p_camp.add_argument(
+        "--table", type=int, choices=(2, 3, 5, 6, 7), default=2,
+        help="which quantitative table's grid to run (default 2)",
+    )
+    p_camp.add_argument("--scale", choices=SCALES, default=None)
+    p_camp.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent worker processes (1 = serial, 0 = one per core)",
+    )
+    p_camp.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="per-cell attempt budget before quarantine",
+    )
+    p_camp.add_argument(
+        "--watchdog", type=float, default=300.0, metavar="SECONDS",
+        help="per-cell watchdog: a worker silent this long is reaped, "
+        "the cell marked timed out and retried on a fresh worker",
+    )
+    p_camp.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    _add_trace_args(p_camp)
+
     p_stats = sub.add_parser(
         "stats",
         help="one report over every counter store: engine memo caches, "
@@ -315,9 +365,10 @@ def main(argv: list[str] | None = None) -> int:
             write_trace(tr, trace_path, fmt=args.trace_format)
             print(f"trace: {trace_path} ({args.trace_format})")
         return rc
-    except UsageError as exc:
-        # Malformed command-level input (e.g. --jobs -2): one clean
-        # line on stderr instead of a traceback.
+    except (ConfigError, UsageError) as exc:
+        # Malformed command-level input (e.g. --jobs -2) or a refused
+        # configuration (e.g. `campaign run` over a journal that
+        # already has progress): one clean line instead of a traceback.
         print(f"s2d-repro: error: {exc}", file=sys.stderr)
         return 2
 
@@ -361,6 +412,9 @@ def _dispatch(args) -> int:
         if status["reason"]:
             print(f"reason={status['reason']}")
         return 0
+
+    if args.cmd == "campaign":
+        return _campaign_cmd(args)
 
     if args.cmd == "stats":
         return _stats_cmd(args)
@@ -492,6 +546,47 @@ def _dispatch(args) -> int:
         return 0
 
     return 1  # pragma: no cover
+
+
+def _campaign_cmd(args) -> int:
+    """The ``campaign`` subcommand: run / resume / status."""
+    from repro.experiments import table_grid
+    from repro.sweep import Campaign, RetryPolicy, campaign_status
+
+    if args.action == "status":
+        st = campaign_status(args.campaign_dir)
+        if st.total == 0:
+            print(f"no campaign journal under {args.campaign_dir}")
+            return 1
+        print(st.line())
+        return 0
+
+    cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
+    grid = table_grid(args.table, cfg)
+    progress = None
+    if not args.quiet:
+        progress = lambda st: print(st.line(), flush=True)  # noqa: E731
+    campaign = Campaign(
+        grid,
+        args.campaign_dir,
+        jobs=args.jobs,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        watchdog_s=args.watchdog,
+        progress=progress,
+    )
+    result = campaign.run() if args.action == "run" else campaign.resume()
+    counters = result.counters
+    print(
+        f"campaign {'complete' if result.complete else 'INCOMPLETE'}: "
+        f"{len(result.records)}/{len(campaign.cell_uids)} cells "
+        f"(resumed={int(counters['resumed_cells'])} "
+        f"executed={int(counters['cells_executed'])} "
+        f"retries={int(counters['retries'])} "
+        f"quarantined={int(counters['quarantined'])})"
+    )
+    for fc in result.failed_cells:
+        print(f"  failed: {fc.summary()}")
+    return 0 if result.complete else 1
 
 
 def _stats_cmd(args) -> int:

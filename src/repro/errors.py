@@ -66,6 +66,44 @@ class SerializationError(ReproError):
     """
 
 
+class CellExecutionError(ReproError):
+    """A sweep/campaign grid cell failed, with its identity attached.
+
+    Pool workers used to propagate raw pickled exceptions with no hint
+    of *which* ``(matrix, scheme, K, seed)`` cell blew up or which task
+    ran it; this wrapper carries the cell coordinates and the
+    originating worker traceback text so a failure deep in an
+    8-matrix × 3-scheme × 3-K grid names its cell.  Pickles cleanly
+    across process boundaries (the structured fields survive the
+    pool's exception round-trip).
+    """
+
+    def __init__(self, message: str, cell: dict | None = None,
+                 task_index: int | None = None, worker_tb: str = ""):
+        super().__init__(message)
+        self.cell = dict(cell) if cell else {}
+        self.task_index = task_index
+        self.worker_tb = worker_tb
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.cell, self.task_index, self.worker_tb),
+        )
+
+
+class CampaignError(ReproError):
+    """Raised when a campaign cannot maintain its crash-safety contract.
+
+    Examples: resuming a journal that belongs to a different grid, a
+    ``done``-journaled record vanishing from the artifact cache at
+    finalization, or fault kinds that need a fork pool on a platform
+    without one.  Per-cell *failures* never raise this — they are
+    retried or quarantined; the campaign degrades gracefully instead of
+    aborting.
+    """
+
+
 class UsageError(ConfigError):
     """Raised for malformed command-level inputs (CLI flags, job counts).
 

@@ -23,6 +23,7 @@ from repro.experiments.tables import (
     run_table5,
     run_table6,
     run_table7,
+    table_grid,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_table7",
+    "table_grid",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_table7",
+    "table_grid",
 ]
 
 
@@ -73,25 +74,103 @@ class TableResult:
 # ----------------------------------------------------------------------
 
 
+#: Quantitative tables: suite name × scheme/slot declarations.  Slot
+#: sharing encodes the paper's setup (e.g. s2D refines 1D's cached
+#: vector partition — see each ``run_table*`` comment).
+_TABLE_GRIDS: dict[int, tuple[str, tuple[SchemeSpec, ...]]] = {
+    2: (
+        "table1",
+        (
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("finegrain", slot=1),
+            SchemeSpec("s2d-heuristic", slot=0),
+        ),
+    ),
+    3: (
+        "table1",
+        (
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("finegrain", slot=1),
+            SchemeSpec("s2d-heuristic", slot=0),
+            SchemeSpec("checkerboard", slot=2),
+        ),
+    ),
+    5: (
+        "table4",
+        (
+            SchemeSpec("1d-rowwise", slot=0),
+            SchemeSpec("s2d-heuristic", slot=0),
+            SchemeSpec("s2d-bounded", slot=0),
+        ),
+    ),
+    6: (
+        "table4",
+        (
+            SchemeSpec("checkerboard", slot=2),
+            SchemeSpec("1d-boman", slot=0),
+            SchemeSpec("s2d-bounded", slot=0),
+        ),
+    ),
+    7: (
+        "table4",
+        (
+            SchemeSpec("medium-grain", slot=3),
+            SchemeSpec("s2d-heuristic", slot=0),
+        ),
+    ),
+}
+
+
+def table_grid(
+    table: int,
+    cfg: ExperimentConfig | None = None,
+    ks: tuple[int, ...] | None = None,
+) -> SweepGrid:
+    """The :class:`SweepGrid` behind one quantitative table (II, III,
+    V, VI, VII).
+
+    This is the single source of the tables' grid declarations: the
+    ``run_table*`` functions execute it through :func:`run_sweep`, and
+    the campaign CLI (``repro campaign run --table N``) wraps the same
+    grid in a crash-safe :class:`~repro.sweep.campaign.Campaign` —
+    both address identical cells, so a campaign's artifact cache warms
+    a later ``repro table`` run and vice versa.
+    """
+    table = int(table)
+    if table not in _TABLE_GRIDS:
+        raise KeyError(
+            f"table {table} has no sweep grid (quantitative tables: "
+            f"{sorted(_TABLE_GRIDS)})"
+        )
+    cfg = cfg or ExperimentConfig()
+    which, schemes = _TABLE_GRIDS[table]
+    if ks is None:
+        if table == 3:
+            ks = (cfg.general_ks[-1],)
+        elif table == 2:
+            ks = cfg.general_ks
+        else:
+            ks = cfg.dense_ks
+    return SweepGrid(
+        matrices=suite_refs(which, cfg.scale),
+        schemes=schemes,
+        ks=tuple(int(k) for k in ks),
+        seeds=(cfg.seed,),
+        machines=(cfg.machine,),
+    )
+
+
 def _table_sweep(
-    which: str,
+    table: int,
     cfg: ExperimentConfig,
-    schemes: tuple[SchemeSpec, ...],
     ks: tuple[int, ...],
     *,
     jobs: int,
     cache_dir,
 ) -> tuple[tuple[MatrixRef, ...], SweepResult]:
     """Declare and run one quantitative table's grid."""
-    refs = suite_refs(which, cfg.scale)
-    grid = SweepGrid(
-        matrices=refs,
-        schemes=schemes,
-        ks=tuple(int(k) for k in ks),
-        seeds=(cfg.seed,),
-        machines=(cfg.machine,),
-    )
-    return refs, run_sweep(grid, jobs=jobs, cache_dir=cache_dir)
+    grid = table_grid(table, cfg, ks)
+    return grid.matrices, run_sweep(grid, jobs=jobs, cache_dir=cache_dir)
 
 
 def _sweep_meta(res: SweepResult, jobs: int) -> dict:
@@ -185,19 +264,8 @@ def run_table2(
         "s2D:LI", "s2D:lam/1D", "s2D:Sp",
     ]
     # Slot 0 is shared between 1D and s2D: s2D refines 1D's cached
-    # vector partition, as in the paper's setup.
-    refs, res = _table_sweep(
-        "table1",
-        cfg,
-        (
-            SchemeSpec("1d-rowwise", slot=0),
-            SchemeSpec("finegrain", slot=1),
-            SchemeSpec("s2d-heuristic", slot=0),
-        ),
-        ks,
-        jobs=jobs,
-        cache_dir=cache_dir,
-    )
+    # vector partition, as in the paper's setup (grid in _TABLE_GRIDS).
+    refs, res = _table_sweep(2, cfg, ks, jobs=jobs, cache_dir=cache_dir)
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for ref in refs:
@@ -274,19 +342,7 @@ def run_table3(
         "name", "best(1D,2D,s2D):Sp", "scheme",
         "2Db:LI", "2Db:lat(av/mx)", "2Db:lam/1D", "2Db:Sp",
     ]
-    refs, res = _table_sweep(
-        "table1",
-        cfg,
-        (
-            SchemeSpec("1d-rowwise", slot=0),
-            SchemeSpec("finegrain", slot=1),
-            SchemeSpec("s2d-heuristic", slot=0),
-            SchemeSpec("checkerboard", slot=2),
-        ),
-        (k,),
-        jobs=jobs,
-        cache_dir=cache_dir,
-    )
+    refs, res = _table_sweep(3, cfg, (k,), jobs=jobs, cache_dir=cache_dir)
     rows, records = [], []
     for ref in refs:
         q1 = res.quality(ref.name, "1d-rowwise", k)
@@ -352,18 +408,7 @@ def run_table5(
     # All three share slot 0: s2D refines 1D's vectors, and s2D-b
     # shares the cached s2D plan (same nonzero partition, mesh-routed
     # schedule).
-    refs, res = _table_sweep(
-        "table4",
-        cfg,
-        (
-            SchemeSpec("1d-rowwise", slot=0),
-            SchemeSpec("s2d-heuristic", slot=0),
-            SchemeSpec("s2d-bounded", slot=0),
-        ),
-        ks,
-        jobs=jobs,
-        cache_dir=cache_dir,
-    )
+    refs, res = _table_sweep(5, cfg, ks, jobs=jobs, cache_dir=cache_dir)
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for ref in refs:
@@ -435,18 +480,7 @@ def run_table6(
         "s2Db:LI", "s2Db:lam/2Db",
     ]
     # 1D-b and s2D-b both route the cached 1D vector partition (slot 0).
-    refs, res = _table_sweep(
-        "table4",
-        cfg,
-        (
-            SchemeSpec("checkerboard", slot=2),
-            SchemeSpec("1d-boman", slot=0),
-            SchemeSpec("s2d-bounded", slot=0),
-        ),
-        ks,
-        jobs=jobs,
-        cache_dir=cache_dir,
-    )
+    refs, res = _table_sweep(6, cfg, ks, jobs=jobs, cache_dir=cache_dir)
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for ref in refs:
@@ -512,17 +546,7 @@ def run_table7(
         "mg:LI", "mg:lat", "lam_mg",
         "s2D:LI", "s2D:lat", "s2D:lam/mg",
     ]
-    refs, res = _table_sweep(
-        "table4",
-        cfg,
-        (
-            SchemeSpec("medium-grain", slot=3),
-            SchemeSpec("s2d-heuristic", slot=0),
-        ),
-        ks,
-        jobs=jobs,
-        cache_dir=cache_dir,
-    )
+    refs, res = _table_sweep(7, cfg, ks, jobs=jobs, cache_dir=cache_dir)
     rows, records = [], []
     per_k: dict[int, list[dict]] = {k: [] for k in ks}
     for ref in refs:

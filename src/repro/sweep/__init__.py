@@ -9,9 +9,27 @@ persists partitions, compiled communication plans and evaluated cell
 records in a content-addressed on-disk store
 (:mod:`repro.sweep.cache`) — a warm rerun of a full table is pure
 cache reads, and parallel records are bit-identical to serial ones.
+
+For long grids, :class:`~repro.sweep.campaign.Campaign` wraps the same
+execution in a crash-safe supervisor: an append-only checksummed
+journal (:mod:`repro.sweep.journal`), retry/backoff with quarantine,
+per-task watchdogs, and resume-after-``kill -9`` with records
+bit-identical to an unfaulted serial run — provable under the
+deterministic fault injection of :mod:`repro.sweep.faults`.
 """
 
 from repro.sweep.cache import ArtifactCache, cache_key
+from repro.sweep.campaign import (
+    Campaign,
+    CampaignResult,
+    CampaignStatus,
+    FailedCell,
+    RetryPolicy,
+    campaign_status,
+    cell_uid,
+)
+from repro.sweep.faults import FaultInjected, FaultPlan, FaultSpec
+from repro.sweep.journal import Journal, JournalReplay, replay_journal
 from repro.sweep.grid import (
     Cell,
     MatrixRef,
@@ -31,17 +49,30 @@ from repro.sweep.orchestrator import (
 
 __all__ = [
     "ArtifactCache",
+    "Campaign",
+    "CampaignResult",
+    "CampaignStatus",
     "Cell",
     "CellRecord",
+    "FailedCell",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "Journal",
+    "JournalReplay",
     "MatrixRef",
     "MatrixTask",
+    "RetryPolicy",
     "SchemeSpec",
     "SweepGrid",
     "SweepResult",
     "cache_key",
+    "campaign_status",
+    "cell_uid",
     "derive_seed",
     "map_tasks",
     "quality_identical",
+    "replay_journal",
     "run_sweep",
     "suite_refs",
 ]

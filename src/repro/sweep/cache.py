@@ -104,7 +104,8 @@ class ArtifactCache:
             self.stats["corrupt"] += 1
             self.stats["misses"] += 1
             obs.add("artifact.misses")
-            obs.event("artifact.corrupt", path=str(path))
+            obs.add("artifact.corrupt")
+            obs.event("artifact.corrupt", key=path.stem, path=str(path))
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - best-effort eviction
@@ -178,6 +179,18 @@ class ArtifactCache:
             self.record_key(matrix_digest, plan_key, machine_key), "pkl"
         )
         return self._fetch(path, lambda p: pickle.loads(p.read_bytes()))
+
+    def fetch_record_hex(self, key_hex: str):
+        """Fetch a cell record by its precomputed hex address.
+
+        Campaign resume rehydrates ``done`` cells from the journal's
+        stored record keys without rebuilding engines; same hit / miss /
+        corrupt-eviction semantics as :meth:`fetch_record`.
+        """
+        return self._fetch(
+            self._path(key_hex, "pkl"),
+            lambda p: pickle.loads(p.read_bytes()),
+        )
 
     def store_record(
         self, matrix_digest: str, plan_key: tuple, machine_key: tuple, record

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
 from repro.engine import PartitionEngine
+from repro.errors import CellExecutionError
 from repro.hypergraph import PartitionConfig
 from repro.jobs import resolve_jobs
 from repro.simulate.machine import MachineModel
@@ -153,7 +155,33 @@ def _execute_task(task: MatrixTask, cache_dir) -> tuple[list[CellRecord], dict]:
     ):
         for cell in task.cells:
             with obs.span("sweep.cell", scheme=cell.scheme, k=cell.k):
-                records.append(_execute_cell(task, engine, cache, digest, cell))
+                try:
+                    records.append(
+                        _execute_cell(task, engine, cache, digest, cell)
+                    )
+                except CellExecutionError:
+                    raise
+                except Exception as exc:
+                    # Name the cell before the exception crosses the
+                    # pool boundary: a raw pickled traceback from an
+                    # 8-matrix grid says nothing about *which*
+                    # (matrix, scheme, K, seed) blew up.
+                    ident = {
+                        "matrix": task.name,
+                        "scheme": cell.scheme,
+                        "k": cell.k,
+                        "seed": task.seed,
+                        "slot": cell.slot,
+                    }
+                    raise CellExecutionError(
+                        f"cell (matrix={task.name!r}, scheme={cell.scheme!r},"
+                        f" K={cell.k}, seed={task.seed}) failed in task"
+                        f" {task.task_index} [pid {os.getpid()}]:"
+                        f" {type(exc).__name__}: {exc}",
+                        cell=ident,
+                        task_index=task.task_index,
+                        worker_tb=traceback.format_exc(),
+                    ) from exc
     info = {
         "matrix": task.name,
         "seed": task.seed,

@@ -48,6 +48,11 @@ Rules
     confined to :mod:`repro.obs`; everything else times through
     ``repro.obs.now()`` (or a ``span``), so every duration in ``src/``
     comes from one clock and is visible to the tracing layer.
+``REP009`` **sigkill-confined** — ``os.kill`` calls and ``SIGKILL``
+    references are confined to :mod:`repro.sweep.faults` (the fault
+    injection harness).  Production code reaps children only through
+    ``Process.kill()`` on the coordinator side — signalling arbitrary
+    pids bypasses the reaper discipline and can hit a recycled pid.
 
 Each violation carries its rule ID; suppressing one requires editing
 the rule's allowlist here — visible in review — rather than a magic
@@ -99,6 +104,11 @@ RULES: dict[str, tuple[str, str]] = {
         "all timings flow through obs.now()/span so one clock feeds both "
         "profiles and traces",
     ),
+    "REP009": (
+        "os.kill/SIGKILL only in sweep/faults.py",
+        "production code reaps children via Process.kill(); raw signals "
+        "bypass the reaper discipline and can hit a recycled pid",
+    ),
 }
 
 # First path segment (relative to the repro package) of the layers
@@ -112,6 +122,7 @@ _CLOCK_LAYER = "obs"
 _BANNED_SYNC = frozenset({"Barrier", "Condition"})
 _SYNC_MODULES = ("multiprocessing", "threading")
 _NATIVE_FORBIDDEN = ("repro.runtime", "repro.engine", "repro.sweep")
+_SIGKILL_MODULE = "sweep/faults.py"
 _MUTABLE_CTORS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict"})
 
 
@@ -147,6 +158,7 @@ class _Visitor(ast.NodeVisitor):
         self.out: list[LintViolation] = []
         self.env_names: set[str] = set()  # names bound to os.environ/getenv
         self.sync_names: set[str] = set()  # Barrier/Condition imported directly
+        self.sigkill_names: set[str] = set()  # SIGKILL imported directly
         self.has_finalize = False
         self.shm_creates: list[int] = []
 
@@ -175,6 +187,13 @@ class _Visitor(ast.NodeVisitor):
             for a in node.names:
                 if a.name in ("environ", "getenv") and not self._env_allowed():
                     self.flag("REP004", node, f"imports os.{a.name}")
+                if a.name == "kill" and not self._sigkill_allowed():
+                    self.flag("REP009", node, "imports os.kill")
+        if mod == "signal" and not self._sigkill_allowed():
+            for a in node.names:
+                if a.name == "SIGKILL":
+                    self.flag("REP009", node, "imports signal.SIGKILL")
+                    self.sigkill_names.add(a.asname or a.name)
         if mod == "weakref":
             if any(a.name == "finalize" for a in node.names):
                 self.has_finalize = True
@@ -197,6 +216,13 @@ class _Visitor(ast.NodeVisitor):
                 self.has_finalize = True
             if name == "os.getenv" and not self._env_allowed():
                 self.flag("REP004", node, f"environment read via {name}")
+            if name == "os.kill" and not self._sigkill_allowed():
+                self.flag(
+                    "REP009",
+                    node,
+                    "os.kill outside sweep/faults.py "
+                    "(reap children via Process.kill())",
+                )
             if name == "SharedMemory" or name.endswith(".SharedMemory"):
                 for kw in node.keywords:
                     if (
@@ -230,6 +256,12 @@ class _Visitor(ast.NodeVisitor):
             name = _dotted(node)
             if name == "os.environ" and not self._env_allowed():
                 self.flag("REP004", node, "direct os.environ access")
+        if node.attr == "SIGKILL" and not self._sigkill_allowed():
+            self.flag(
+                "REP009",
+                node,
+                f"use of {_dotted(node) or node.attr} outside sweep/faults.py",
+            )
         if node.attr == "perf_counter" and self.layer != _CLOCK_LAYER:
             if _dotted(node) == "time.perf_counter":
                 self.flag(
@@ -243,6 +275,8 @@ class _Visitor(ast.NodeVisitor):
     def visit_Name(self, node: ast.Name) -> None:
         if node.id in self.sync_names and isinstance(node.ctx, ast.Load):
             self.flag("REP002", node, f"use of imported {node.id}")
+        if node.id in self.sigkill_names and isinstance(node.ctx, ast.Load):
+            self.flag("REP009", node, f"use of imported {node.id}")
         self.generic_visit(node)
 
     # ------------------------------------------------------------ defaults
@@ -283,6 +317,9 @@ class _Visitor(ast.NodeVisitor):
 
     def _env_allowed(self) -> bool:
         return self.rel in _ENV_MODULES
+
+    def _sigkill_allowed(self) -> bool:
+        return self.rel == _SIGKILL_MODULE
 
 
 def lint_source(source: str, rel: str) -> list[LintViolation]:

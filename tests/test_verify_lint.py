@@ -207,6 +207,35 @@ def test_rep008_allows_obs_and_other_time_calls():
     )
 
 
+# ---------------------------------------------------------------- REP009
+
+
+def test_rep009_flags_os_kill_and_sigkill_outside_faults():
+    assert "REP009" in _rules(
+        "import os\nos.kill(pid, 9)\n", "runtime/parallel.py"
+    )
+    assert "REP009" in _rules(
+        "import signal\nSIG = signal.SIGKILL\n", "sweep/campaign.py"
+    )
+    assert "REP009" in _rules(
+        "from os import kill\n", "engine/engine.py"
+    )
+    assert "REP009" in _rules(
+        "from signal import SIGKILL\nx = SIGKILL\n", "sweep/orchestrator.py"
+    )
+
+
+def test_rep009_allows_faults_module_and_process_kill():
+    src = "import os, signal\nos.kill(os.getpid(), signal.SIGKILL)\n"
+    assert "REP009" not in _rules(src, "sweep/faults.py")
+    # Coordinator-side reaping through the Process handle is the
+    # sanctioned spelling everywhere.
+    assert "REP009" not in _rules(
+        "def reap(proc):\n    proc.kill()\n    proc.join()\n",
+        "sweep/campaign.py",
+    )
+
+
 # ---------------------------------------------------------------- REP000
 
 
@@ -220,7 +249,7 @@ def test_syntax_error_is_a_violation_not_a_crash():
 
 
 def test_every_rule_has_catalog_entry_and_both_polarities_covered():
-    assert set(RULES) == {f"REP00{i}" for i in range(1, 9)}
+    assert set(RULES) == {f"REP00{i}" for i in range(1, 10)}
     for rule_id, (summary, rationale) in RULES.items():
         assert summary and rationale, rule_id
 

@@ -10,7 +10,11 @@ Runs, in order, and prints one PASS/FAIL line per step:
 4. the fast pytest tier (``-m "not slow"``) in a subprocess — skipped
    with ``--no-pytest`` when only the static layer is wanted;
 5. with ``--bench``, the bench-trend gate (``tools/bench_trend.py``)
-   over the committed ``BENCH_*.json`` acceptance metrics.
+   over the committed ``BENCH_*.json`` acceptance metrics;
+6. with ``--campaign``, a crash-safety smoke: a small faulted grid run
+   under a seeded ``FaultPlan`` (worker kill + transient raise) must
+   complete with records bit-identical to an unfaulted serial sweep,
+   and must leave ``/dev/shm`` clean.
 
 Exit status is 0 iff every step passed.  This is the pre-merge gate in
 script form: a checkout where ``tools/check_all.py`` exits 0 has the
@@ -91,6 +95,74 @@ def step_bench_trend() -> tuple[bool, str]:
     return report["ok"], trend_text(report)
 
 
+def step_campaign() -> tuple[bool, str]:
+    """Faulted campaign smoke: complete under injected faults, records
+    bit-identical to serial, no stray /dev/shm segments left behind."""
+    import glob
+    import tempfile
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.sweep import (
+        Campaign,
+        FaultPlan,
+        FaultSpec,
+        RetryPolicy,
+        SchemeSpec,
+        SweepGrid,
+        cell_uid,
+        quality_identical,
+        run_sweep,
+        suite_refs,
+    )
+
+    def shm_entries():
+        return set(glob.glob("/dev/shm/*")) if os.path.isdir("/dev/shm") else set()
+
+    cfg = ExperimentConfig(scale="tiny")
+    grid = SweepGrid(
+        matrices=suite_refs("table1", scale="tiny")[:3],
+        schemes=(SchemeSpec("1d-rowwise", 0), SchemeSpec("s2d-heuristic", 0)),
+        ks=(2, 4, 8),
+        seeds=(cfg.seed,),
+        machines=(cfg.machine,),
+    )
+    uids = [cell_uid(t, c) for t in grid.tasks() for c in t.cells]
+    faults = FaultPlan(specs=(
+        FaultSpec(kind="kill", cell=uids[1]),
+        FaultSpec(kind="raise", cell=uids[7], attempts=(0,)),
+        FaultSpec(kind="kill", cell=uids[12]),
+    ))
+    serial = run_sweep(grid, jobs=1)
+    before = shm_entries()
+    with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as root:
+        result = Campaign(
+            grid, root, jobs=2, faults=faults,
+            retry=RetryPolicy(base=0.05, cap=0.2), watchdog_s=120.0,
+        ).run()
+    leaked = shm_entries() - before
+    lines = [
+        f"cells={len(result.records)}/{len(uids)} complete={result.complete} "
+        f"killed={int(result.counters['killed'])} "
+        f"retries={int(result.counters['retries'])} "
+        f"quarantined={int(result.counters['quarantined'])}",
+    ]
+    ok = result.complete and not result.failed_cells
+    if not ok:
+        lines += [f"failed: {fc.summary()}" for fc in result.failed_cells]
+    ident = len(serial.records) == len(result.records) and all(
+        quality_identical(a.quality, b.quality)
+        for a, b in zip(serial.records, result.records)
+    )
+    lines.append(f"bit-identical-to-serial={ident}")
+    ok &= ident
+    if leaked:
+        ok = False
+        lines.append(f"/dev/shm leaked: {sorted(leaked)}")
+    else:
+        lines.append("/dev/shm clean")
+    return ok, "\n".join(lines)
+
+
 def step_pytest() -> tuple[bool, str]:
     env = {**os.environ, "PYTHONPATH": "src"}
     proc = subprocess.run(
@@ -116,6 +188,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the bench-trend gate over the committed BENCH files",
     )
+    ap.add_argument(
+        "--campaign",
+        action="store_true",
+        help="also run the faulted campaign smoke (kill/raise faults on a "
+        "small grid; asserts completion, serial bit-identity, clean /dev/shm)",
+    )
     args = ap.parse_args(argv)
 
     steps = [
@@ -125,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if args.bench:
         steps.append(("bench-trend", step_bench_trend))
+    if args.campaign:
+        steps.append(("campaign-smoke", step_campaign))
     if not args.no_pytest:
         steps.append(("pytest-fast", step_pytest))
 
